@@ -1,0 +1,22 @@
+"""Benchmark regenerating Figure 5 (cumulative throughput, MeT vs tiramola)."""
+
+from repro.experiments.figure5 import report, run_figure5
+
+
+def test_figure5_cumulative_throughput(benchmark, figure6_result):
+    """MeT completes more operations than tiramola during phase 1."""
+    result = benchmark.pedantic(
+        run_figure5,
+        kwargs={"minutes": 33.0, "from_figure6": figure6_result},
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(report(result))
+
+    # Paper: ~706,000 extra operations, a ~31% increase.  The simulator
+    # reproduces a clear advantage for MeT.
+    assert result.improvement >= 1.05
+    assert result.extra_operations > 0
+    # The advantage materialises despite the initial reconfiguration cost.
+    assert result.met_total_operations > 0

@@ -1,0 +1,29 @@
+"""Benchmark regenerating Figure 6 (Section 6.4 elasticity experiment)."""
+
+from repro.experiments.figure6 import report
+
+
+def test_figure6_elasticity(benchmark, figure6_result):
+    """MeT outperforms tiramola and releases nodes when demand drops."""
+    result = figure6_result
+    benchmark.pedantic(lambda: report(result), iterations=1, rounds=1)
+    print()
+    print(report(result))
+
+    # Phase 1: MeT's cumulative operations exceed tiramola's (paper: +31%).
+    assert result.phase1_operations_ratio >= 1.05
+
+    # MeT reaches a higher steady throughput than tiramola towards the end of
+    # phase 1 (tiramola's added nodes are held back by random placement and
+    # lost locality).
+    met_plateau = result.met.throughput_between(25.0, result.phase1_minutes)
+    tiramola_plateau = result.tiramola.throughput_between(25.0, result.phase1_minutes)
+    assert met_plateau > tiramola_plateau
+
+    # Phase 2: MeT releases nodes as tenants are switched off; tiramola only
+    # releases when every node is under-utilised, so it keeps more machines.
+    if result.minutes > 45:
+        assert result.met_final_nodes < result.tiramola_final_nodes
+    # Neither system exceeds the tenant quota.
+    assert result.met_peak_nodes <= 11
+    assert result.tiramola_peak_nodes <= 11

@@ -1,0 +1,49 @@
+"""Cluster backend interfaces.
+
+MeT's Monitor and Actuator components interface with the NoSQL database and
+with the IaaS (Figure 2 of the paper).  Controllers in this repository (MeT,
+the tiramola baseline and the manual strategies) are written against the
+:class:`ClusterBackend` protocol so the same controller code drives either
+the analytical simulator or the functional mini-HBase cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.hbase.config import RegionServerConfig
+from repro.monitoring.collector import MetricsSource
+
+
+@runtime_checkable
+class ClusterActions(Protocol):
+    """Actuation interface of a cluster backend."""
+
+    def add_node(self, config: RegionServerConfig, profile_name: str) -> str:
+        """Provision a new node (may boot asynchronously); returns its name."""
+
+    def remove_node(self, name: str) -> None:
+        """Decommission a node; its partitions move to the remaining nodes."""
+
+    def reconfigure_node(
+        self, name: str, config: RegionServerConfig, profile_name: str
+    ) -> list[str]:
+        """Drain and restart a node with a new configuration.
+
+        Returns the ids of the partitions that were drained away so the
+        caller can move them back once the node is online again.
+        """
+
+    def move_partition(self, partition_id: str, node: str) -> None:
+        """Reassign one partition to a node."""
+
+    def major_compact(self, name: str) -> None:
+        """Trigger a major compaction of the node's non-local partitions."""
+
+    def node_is_online(self, name: str) -> bool:
+        """Whether a node finished booting/restarting and serves requests."""
+
+
+@runtime_checkable
+class ClusterBackend(MetricsSource, ClusterActions, Protocol):
+    """Observation plus actuation: what a controller needs from a cluster."""

@@ -1,0 +1,55 @@
+"""The Monitor component (paper Section 4.1).
+
+Periodically gathers system metrics (CPU, I/O wait, memory) and NoSQL
+metrics (per-partition read/write/scan counts, per-node locality index),
+applies exponential smoothing, and delivers a snapshot to the Decision Maker
+every ``decision_samples`` samples.  Observations taken before the last
+actuator action are discarded.
+"""
+
+from __future__ import annotations
+
+from repro.core.parameters import MeTParameters
+from repro.monitoring.collector import ClusterSnapshot, MetricsCollector, MetricsSource
+from repro.monitoring.ganglia import GangliaCollector
+from repro.monitoring.jmx import JMXCollector
+
+
+class Monitor:
+    """Drives the Ganglia/JMX collectors and produces decision snapshots."""
+
+    def __init__(self, source: MetricsSource, parameters: MeTParameters | None = None) -> None:
+        self.parameters = (parameters or MeTParameters()).validate()
+        self.source = source
+        self.collector = MetricsCollector(
+            source,
+            period_seconds=self.parameters.monitor_period_seconds,
+            decision_samples=self.parameters.decision_samples,
+            smoothing_alpha=self.parameters.smoothing_alpha,
+        )
+        self.ganglia = GangliaCollector(
+            source, period_seconds=self.parameters.monitor_period_seconds
+        )
+        self.jmx = JMXCollector(source)
+        self.samples_taken = 0
+
+    def step(self, now: float) -> None:
+        """Sample the cluster if the monitoring period elapsed."""
+        if not self.collector.due(now):
+            return
+        self.ganglia.poll(now)
+        self.jmx.poll(now)
+        self.collector.sample(now)
+        self.samples_taken += 1
+
+    def decision_due(self) -> bool:
+        """Whether enough samples accumulated for a Decision Maker round."""
+        return self.collector.decision_due()
+
+    def snapshot(self, now: float) -> ClusterSnapshot:
+        """Build the smoothed snapshot for the Decision Maker."""
+        return self.collector.snapshot(now)
+
+    def reset_after_action(self) -> None:
+        """Discard pre-action observations (called by the actuator)."""
+        self.collector.reset_after_action()

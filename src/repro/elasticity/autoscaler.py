@@ -1,0 +1,69 @@
+"""Common interface for elasticity controllers.
+
+Both MeT and the tiramola baseline are *controllers*: they observe a cluster
+backend and occasionally act on it.  The experiment harness only needs the
+``step(now)`` entry point, but the autoscaler base class also standardises
+the action log so experiments can report when nodes were added or removed.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.core.interfaces import ClusterBackend
+
+
+class AutoscalerAction(str, enum.Enum):
+    """Kinds of scaling actions a controller can take."""
+
+    ADD_NODE = "add_node"
+    REMOVE_NODE = "remove_node"
+    RECONFIGURE = "reconfigure"
+    NONE = "none"
+
+
+@dataclass
+class ScalingEvent:
+    """One recorded scaling action."""
+
+    timestamp: float
+    action: AutoscalerAction
+    node: str | None = None
+    detail: str = ""
+
+
+@dataclass
+class AutoscalerLog:
+    """Action history of a controller."""
+
+    events: list[ScalingEvent] = field(default_factory=list)
+
+    def record(
+        self,
+        timestamp: float,
+        action: AutoscalerAction,
+        node: str | None = None,
+        detail: str = "",
+    ) -> None:
+        """Append one event."""
+        self.events.append(
+            ScalingEvent(timestamp=timestamp, action=action, node=node, detail=detail)
+        )
+
+    def count(self, action: AutoscalerAction) -> int:
+        """Number of events of a given kind."""
+        return sum(1 for event in self.events if event.action == action)
+
+
+class Autoscaler(ABC):
+    """Base class for elasticity controllers driven by the harness."""
+
+    def __init__(self, backend: ClusterBackend) -> None:
+        self.backend = backend
+        self.log = AutoscalerLog()
+
+    @abstractmethod
+    def step(self, now: float) -> None:
+        """Observe the cluster at time ``now`` and act if needed."""

@@ -1,0 +1,34 @@
+"""Experiment harness regenerating every table and figure of the evaluation.
+
+Each module exposes a ``run_*`` function returning a result object and a
+``main()`` that prints the same rows/series the paper reports:
+
+* :mod:`repro.experiments.figure1` -- the Section 3.4 motivation experiment
+  (Random-Homogeneous vs Manual-Homogeneous vs Manual-Heterogeneous).
+* :mod:`repro.experiments.figure4` -- the Section 6.2 convergence experiment.
+* :mod:`repro.experiments.table2` -- the Section 6.3 PyTPCC experiment.
+* :mod:`repro.experiments.figure5` -- cumulative throughput, MeT vs tiramola.
+* :mod:`repro.experiments.figure6` -- the Section 6.4 elasticity experiment.
+"""
+
+from repro.experiments.harness import ExperimentHarness, StrategyRun
+from repro.experiments.figure1 import Figure1Result, run_figure1
+from repro.experiments.figure4 import Figure4Result, run_figure4
+from repro.experiments.figure5 import Figure5Result, run_figure5
+from repro.experiments.figure6 import Figure6Result, run_figure6
+from repro.experiments.table2 import Table2Result, run_table2
+
+__all__ = [
+    "ExperimentHarness",
+    "StrategyRun",
+    "Figure1Result",
+    "run_figure1",
+    "Figure4Result",
+    "run_figure4",
+    "Figure5Result",
+    "run_figure5",
+    "Figure6Result",
+    "run_figure6",
+    "Table2Result",
+    "run_table2",
+]

@@ -1,0 +1,147 @@
+"""Shared experiment machinery.
+
+The harness glues together a :class:`ClusterSimulator`, the multi-tenant
+YCSB (or TPC-C) scenario, an optional placement plan and an optional
+controller (MeT or tiramola), and runs the simulation while recording the
+series the figures need: per-minute throughput, cumulative operations and
+cluster size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.interfaces import ClusterBackend
+from repro.elasticity.strategies import PlacementPlan
+from repro.simulation.cluster import ClusterSimulator
+
+
+@dataclass
+class TimeSeriesPoint:
+    """One sample of the run's observable state."""
+
+    minute: float
+    throughput: float
+    cumulative_ops: float
+    nodes: int
+
+
+@dataclass
+class StrategyRun:
+    """Recorded outcome of one experiment run."""
+
+    name: str
+    series: list[TimeSeriesPoint] = field(default_factory=list)
+    per_workload_throughput: dict[str, float] = field(default_factory=dict)
+    total_operations: float = 0.0
+    final_nodes: int = 0
+    machine_minutes: float = 0.0
+
+    @property
+    def mean_throughput(self) -> float:
+        """Mean of the recorded per-minute throughput samples."""
+        if not self.series:
+            return 0.0
+        return sum(point.throughput for point in self.series) / len(self.series)
+
+    @property
+    def peak_throughput(self) -> float:
+        """Maximum recorded throughput."""
+        return max((point.throughput for point in self.series), default=0.0)
+
+    def throughput_between(self, start_minute: float, end_minute: float) -> float:
+        """Mean throughput between two minutes of the run."""
+        window = [
+            point.throughput
+            for point in self.series
+            if start_minute <= point.minute <= end_minute
+        ]
+        if not window:
+            return 0.0
+        return sum(window) / len(window)
+
+    def operations_until(self, minute: float) -> float:
+        """Cumulative operations completed by ``minute``."""
+        eligible = [p.cumulative_ops for p in self.series if p.minute <= minute]
+        return eligible[-1] if eligible else 0.0
+
+
+def apply_placement(simulator: ClusterSimulator, plan: PlacementPlan) -> None:
+    """Apply a placement plan: node configurations and region assignment.
+
+    Regions start fully local to the node they are placed on (the paper's
+    elasticity experiments start from 100% data locality).
+    """
+    for node_name, config in plan.node_configs.items():
+        node = simulator.nodes[node_name]
+        node.config = config.validate()
+        node.profile_name = plan.node_profiles.get(node_name, "default")
+    for partition_id, node_name in plan.assignment.items():
+        region = simulator.regions[partition_id]
+        region.node = node_name
+        region.block_homes = {node_name}
+
+
+class ExperimentHarness:
+    """Runs a simulator with optional controllers, recording time series."""
+
+    def __init__(
+        self,
+        simulator: ClusterSimulator,
+        name: str = "run",
+        sample_every_seconds: float = 60.0,
+    ) -> None:
+        self.simulator = simulator
+        self.run = StrategyRun(name=name)
+        self.sample_every_seconds = sample_every_seconds
+        self._controllers: list = []
+        self._machine_seconds = 0.0
+        self._next_sample = 0.0
+
+    def add_controller(self, controller) -> None:
+        """Register a controller whose ``step(now)`` is called every tick."""
+        self._controllers.append(controller)
+
+    def run_for(self, seconds: float) -> StrategyRun:
+        """Advance the simulation by ``seconds``, sampling along the way."""
+        simulator = self.simulator
+        remaining = seconds
+        while remaining > 1e-9:
+            step = min(simulator.clock.tick_seconds, remaining)
+            simulator.tick(step)
+            now = simulator.clock.now
+            for controller in self._controllers:
+                controller.step(now)
+            self._machine_seconds += len(simulator.online_nodes()) * step
+            if now + 1e-9 >= self._next_sample:
+                self._sample(now)
+                self._next_sample = now + self.sample_every_seconds
+            remaining -= step
+        self._finalise()
+        return self.run
+
+    def _sample(self, now: float) -> None:
+        self.run.series.append(
+            TimeSeriesPoint(
+                minute=now / 60.0,
+                throughput=self.simulator.cluster_throughput(),
+                cumulative_ops=self.simulator.total_ops,
+                nodes=len(self.simulator.online_nodes()),
+            )
+        )
+
+    def _finalise(self) -> None:
+        self.run.total_operations = self.simulator.total_ops
+        self.run.final_nodes = len(self.simulator.online_nodes())
+        self.run.machine_minutes = self._machine_seconds / 60.0
+        self.run.per_workload_throughput = {
+            name: self.simulator.binding_throughput(name)
+            for name in self.simulator.bindings
+        }
+
+
+def make_backend(simulator: ClusterSimulator, provider=None) -> ClusterBackend:
+    """Wrap a simulator as the backend controllers expect."""
+    from repro.core.backends import SimulatorBackend
+
+    return SimulatorBackend(simulator, provider=provider)

@@ -1,0 +1,58 @@
+"""Plain-text reporting helpers used by the experiment ``main()`` entry points."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def format_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Render a fixed-width text table."""
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    lines.append("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str, points: list[tuple[float, float]], unit: str = "ops/s"
+) -> str:
+    """Render a (minute, value) series as aligned text rows."""
+    lines = [title]
+    for minute, value in points:
+        lines.append(f"  t={minute:6.1f} min  {value:12.1f} {unit}")
+    return "\n".join(lines)
+
+
+def percentiles(values: list[float], points: tuple[int, ...] = (5, 25, 50, 75, 90)) -> dict[int, float]:
+    """Empirical percentiles of ``values`` (the CDF bars of Figure 1)."""
+    if not values:
+        return {p: 0.0 for p in points}
+    ordered = sorted(values)
+    result: dict[int, float] = {}
+    for p in points:
+        rank = (p / 100.0) * (len(ordered) - 1)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = rank - low
+        result[p] = ordered[low] * (1 - fraction) + ordered[high] * fraction
+    return result
+
+
+@dataclass
+class Comparison:
+    """A paper-vs-measured comparison row for EXPERIMENTS.md."""
+
+    metric: str
+    paper: str
+    measured: str
+    holds: bool
+
+    def row(self) -> list[str]:
+        """Table row representation."""
+        return [self.metric, self.paper, self.measured, "yes" if self.holds else "NO"]

@@ -1,0 +1,65 @@
+"""The key-value client API: put, get, delete and scan (Section 2.1)."""
+
+from __future__ import annotations
+
+from repro.hbase.master import HMaster
+
+
+class HBaseClient:
+    """Routes operations to the RegionServer hosting the target row."""
+
+    def __init__(self, master: HMaster) -> None:
+        self.master = master
+
+    def put(self, table: str, row: str, column: str, value: bytes | str) -> None:
+        """Write one cell; writes are atomic and immediately visible."""
+        if isinstance(value, str):
+            value = value.encode()
+        _, server = self.master.locate(table, row)
+        server.put(table, row, column, value)
+
+    def put_row(self, table: str, row: str, values: dict[str, bytes | str]) -> None:
+        """Write several columns of one row."""
+        _, server = self.master.locate(table, row)
+        for column, value in values.items():
+            if isinstance(value, str):
+                value = value.encode()
+            server.put(table, row, column, value)
+
+    def get(self, table: str, row: str) -> dict[str, bytes]:
+        """Read all columns of a row (empty dict when the row is absent)."""
+        _, server = self.master.locate(table, row)
+        return server.get(table, row)
+
+    def delete(self, table: str, row: str, column: str | None = None) -> None:
+        """Delete a column, or the whole row when ``column`` is None."""
+        _, server = self.master.locate(table, row)
+        server.delete(table, row, column)
+
+    def scan(
+        self,
+        table: str,
+        start_row: str = "",
+        stop_row: str | None = None,
+        limit: int = 100,
+    ) -> list[tuple[str, dict[str, bytes]]]:
+        """Return up to ``limit`` rows with ``start_row <= row < stop_row``."""
+        results: list[tuple[str, dict[str, bytes]]] = []
+        for server in self.master.servers_for_range(table, start_row, stop_row):
+            remaining = limit - len(results)
+            if remaining <= 0:
+                break
+            results.extend(server.scan(table, start_row, stop_row, remaining))
+        results.sort(key=lambda item: item[0])
+        return results[:limit]
+
+    def read_modify_write(
+        self, table: str, row: str, column: str, transform
+    ) -> bytes:
+        """Read a cell, apply ``transform`` to its value, write it back."""
+        current = self.get(table, row).get(column, b"")
+        new_value = transform(current)
+        if isinstance(new_value, str):
+            new_value = new_value.encode()
+        self.put(table, row, column, new_value)
+        return new_value

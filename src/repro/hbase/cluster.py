@@ -1,0 +1,141 @@
+"""A self-contained mini-HBase cluster (master + RegionServers + HDFS).
+
+:class:`MiniHBaseCluster` wires the substrate pieces together and offers the
+administrative operations MeT's actuator uses against a real deployment:
+adding and removing RegionServers, moving Regions, restarting a server with a
+new configuration, and triggering major compactions.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.hbase.balancer import Balancer
+from repro.hbase.client import HBaseClient
+from repro.hbase.config import RegionServerConfig
+from repro.hbase.errors import NoSuchRegionServerError
+from repro.hbase.master import HMaster
+from repro.hbase.regionserver import DEFAULT_HEAP_BYTES, RegionServer
+from repro.hbase.table import HTableDescriptor
+from repro.hdfs.namenode import NameNode
+
+
+class MiniHBaseCluster:
+    """Master, RegionServers and the HDFS namenode in one object."""
+
+    def __init__(
+        self,
+        initial_servers: int = 1,
+        config: RegionServerConfig | None = None,
+        replication: int = 2,
+        balancer: Balancer | None = None,
+        heap_bytes: int = DEFAULT_HEAP_BYTES,
+        seed: int | None = 0,
+    ) -> None:
+        self.namenode = NameNode(replication=replication, seed=seed)
+        self.master = HMaster(balancer=balancer)
+        self.default_config = (config or RegionServerConfig()).validate()
+        self.heap_bytes = heap_bytes
+        self._server_counter = itertools.count(1)
+        for _ in range(initial_servers):
+            self.add_regionserver()
+
+    # ------------------------------------------------------------------ #
+    # cluster administration
+    # ------------------------------------------------------------------ #
+    def add_regionserver(
+        self,
+        name: str | None = None,
+        config: RegionServerConfig | None = None,
+        profile_name: str = "default",
+    ) -> RegionServer:
+        """Start a new RegionServer (and its co-located DataNode)."""
+        if name is None:
+            name = f"regionserver-{next(self._server_counter)}"
+        server = RegionServer(
+            name=name,
+            namenode=self.namenode,
+            config=config or self.default_config,
+            heap_bytes=self.heap_bytes,
+            profile_name=profile_name,
+        )
+        self.master.register_server(server)
+        return server
+
+    def remove_regionserver(self, name: str) -> None:
+        """Decommission a RegionServer; its regions move elsewhere."""
+        self.master.unregister_server(name, reassign=True)
+        self.namenode.decommission_datanode(name)
+
+    def regionserver(self, name: str) -> RegionServer:
+        """Look up a RegionServer by name."""
+        try:
+            return self.master.servers[name]
+        except KeyError:
+            raise NoSuchRegionServerError(f"unknown RegionServer {name!r}") from None
+
+    def regionservers(self) -> list[RegionServer]:
+        """All RegionServers."""
+        return list(self.master.servers.values())
+
+    def restart_regionserver(
+        self,
+        name: str,
+        config: RegionServerConfig | None = None,
+        profile_name: str | None = None,
+    ) -> None:
+        """Restart a server, optionally with a new configuration.
+
+        Mirrors the paper's incremental reconfiguration: the server's regions
+        are drained to the other servers, the server restarts with the new
+        configuration (losing its block cache), and the caller is then free
+        to move regions back.
+        """
+        server = self.regionserver(name)
+        others = [s for s in self.regionservers() if s.name != name and s.online]
+        for region in list(server.hosted_regions()):
+            server.flush_region(region)
+            if others:
+                target = min(others, key=lambda s: len(s.regions))
+                self.master.move_region(region.name, target.name)
+        server.online = False
+        server.apply_config(config or server.config, profile_name)
+        server.online = True
+
+    def major_compact_server(self, name: str) -> int:
+        """Major-compact every region on a server; returns regions compacted."""
+        server = self.regionserver(name)
+        count = 0
+        for region in list(server.hosted_regions()):
+            server.major_compact(region.name)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------ #
+    # convenience
+    # ------------------------------------------------------------------ #
+    def create_table(
+        self,
+        name: str,
+        column_families: tuple[str, ...] = ("cf",),
+        split_keys: list[str] | None = None,
+    ) -> HTableDescriptor:
+        """Create a (pre-split) table."""
+        descriptor = HTableDescriptor(name=name, column_families=column_families)
+        self.master.create_table(descriptor, split_keys)
+        return descriptor
+
+    def client(self) -> HBaseClient:
+        """A client connected to this cluster."""
+        return HBaseClient(self.master)
+
+    def locality_report(self) -> dict[str, float]:
+        """Locality index per RegionServer."""
+        return {server.name: server.locality_index() for server in self.regionservers()}
+
+    def region_counters(self) -> dict[str, dict[str, int]]:
+        """Read/write/scan counters for every region in the cluster."""
+        counters: dict[str, dict[str, int]] = {}
+        for server in self.regionservers():
+            counters.update(server.request_counters())
+        return counters

@@ -1,0 +1,220 @@
+"""The HMaster: table catalog, region assignment and cluster rebalancing."""
+
+from __future__ import annotations
+
+from repro.hbase.balancer import Balancer, RandomBalancer
+from repro.hbase.errors import (
+    NoSuchRegionError,
+    NoSuchRegionServerError,
+    NoSuchTableError,
+    RegionOfflineError,
+)
+from repro.hbase.region import Region
+from repro.hbase.regionserver import RegionServer
+from repro.hbase.table import HTableDescriptor
+
+
+class HMaster:
+    """Coordinates RegionServers: catalog, assignment, moves and splits."""
+
+    def __init__(self, balancer: Balancer | None = None) -> None:
+        self.balancer = balancer or RandomBalancer(seed=0)
+        self.tables: dict[str, HTableDescriptor] = {}
+        self.regions: dict[str, Region] = {}
+        self.servers: dict[str, RegionServer] = {}
+        self.assignment: dict[str, str] = {}
+
+    # ------------------------------------------------------------------ #
+    # membership
+    # ------------------------------------------------------------------ #
+    def register_server(self, server: RegionServer) -> None:
+        """Add a RegionServer to the cluster."""
+        self.servers[server.name] = server
+
+    def unregister_server(self, name: str, reassign: bool = True) -> list[str]:
+        """Remove a RegionServer, reassigning its regions elsewhere."""
+        server = self._server(name)
+        hosted = [region.name for region in server.hosted_regions()]
+        del self.servers[name]
+        if not reassign:
+            for region_name in hosted:
+                self.assignment.pop(region_name, None)
+            return hosted
+        for region_name in hosted:
+            region = server.close_region(region_name)
+            target = self._least_loaded_server()
+            if target is None:
+                self.assignment.pop(region_name, None)
+                continue
+            target.open_region(region)
+            self.assignment[region_name] = target.name
+        return hosted
+
+    def _server(self, name: str) -> RegionServer:
+        try:
+            return self.servers[name]
+        except KeyError:
+            raise NoSuchRegionServerError(f"unknown RegionServer {name!r}") from None
+
+    def _least_loaded_server(self) -> RegionServer | None:
+        online = [s for s in self.servers.values() if s.online]
+        if not online:
+            return None
+        return min(online, key=lambda s: len(s.regions))
+
+    # ------------------------------------------------------------------ #
+    # catalog
+    # ------------------------------------------------------------------ #
+    def create_table(
+        self, descriptor: HTableDescriptor, split_keys: list[str] | None = None
+    ) -> list[Region]:
+        """Create a table, pre-split at ``split_keys``, and assign its regions."""
+        if descriptor.name in self.tables:
+            raise ValueError(f"table {descriptor.name!r} already exists")
+        if not self.servers:
+            raise NoSuchRegionServerError("cannot create a table with no RegionServers")
+        self.tables[descriptor.name] = descriptor
+        boundaries = sorted(set(split_keys or []))
+        starts = [""] + boundaries
+        ends: list[str | None] = boundaries + [None]
+        regions = [
+            Region(descriptor, start_key=start, end_key=end)
+            for start, end in zip(starts, ends)
+        ]
+        for region in regions:
+            self.regions[region.name] = region
+        self._assign_regions([region.name for region in regions])
+        return regions
+
+    def drop_table(self, table_name: str) -> None:
+        """Remove a table and all its regions."""
+        if table_name not in self.tables:
+            raise NoSuchTableError(f"unknown table {table_name!r}")
+        del self.tables[table_name]
+        doomed = [name for name, region in self.regions.items() if region.table.name == table_name]
+        for region_name in doomed:
+            server_name = self.assignment.pop(region_name, None)
+            if server_name and server_name in self.servers:
+                self.servers[server_name].close_region(region_name)
+            del self.regions[region_name]
+
+    def table_regions(self, table_name: str) -> list[Region]:
+        """Regions of a table ordered by start key."""
+        if table_name not in self.tables:
+            raise NoSuchTableError(f"unknown table {table_name!r}")
+        regions = [r for r in self.regions.values() if r.table.name == table_name]
+        return sorted(regions, key=lambda r: r.start_key)
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+    def locate(self, table_name: str, row: str) -> tuple[Region, RegionServer]:
+        """Find the region covering ``row`` and the server hosting it."""
+        for region in self.table_regions(table_name):
+            if region.contains(row):
+                server_name = self.assignment.get(region.name)
+                if server_name is None or server_name not in self.servers:
+                    raise RegionOfflineError(f"region {region.name!r} is not assigned")
+                server = self.servers[server_name]
+                if not server.online:
+                    raise RegionOfflineError(
+                        f"region {region.name!r} is on restarting server {server_name!r}"
+                    )
+                return region, server
+        raise NoSuchRegionError(f"no region of {table_name!r} covers {row!r}")
+
+    def servers_for_range(
+        self, table_name: str, start_row: str, stop_row: str | None
+    ) -> list[RegionServer]:
+        """Servers hosting regions that overlap the given row range."""
+        servers: list[RegionServer] = []
+        seen: set[str] = set()
+        for region in self.table_regions(table_name):
+            if stop_row is not None and region.start_key and region.start_key >= stop_row:
+                continue
+            if region.end_key is not None and region.end_key <= start_row:
+                continue
+            server_name = self.assignment.get(region.name)
+            if server_name is None or server_name in seen:
+                continue
+            server = self.servers.get(server_name)
+            if server is None or not server.online:
+                raise RegionOfflineError(f"region {region.name!r} is unavailable")
+            servers.append(server)
+            seen.add(server_name)
+        return servers
+
+    # ------------------------------------------------------------------ #
+    # assignment / moves / splits
+    # ------------------------------------------------------------------ #
+    def _assign_regions(self, region_names: list[str]) -> None:
+        costs = {
+            name: float(self.regions[name].counters.total) for name in region_names
+        }
+        plan = self.balancer.assign(region_names, list(self.servers), costs)
+        for region_name, server_name in plan.items():
+            self._place(region_name, server_name)
+
+    def _place(self, region_name: str, server_name: str) -> None:
+        region = self.regions[region_name]
+        current = self.assignment.get(region_name)
+        if current == server_name:
+            return
+        if current and current in self.servers:
+            self.servers[current].close_region(region_name)
+        self.servers[server_name].open_region(region)
+        self.assignment[region_name] = server_name
+
+    def move_region(self, region_name: str, server_name: str) -> None:
+        """Move one region to a specific server."""
+        if region_name not in self.regions:
+            raise NoSuchRegionError(f"unknown region {region_name!r}")
+        self._server(server_name)
+        self._place(region_name, server_name)
+
+    def balance(self) -> dict[str, str]:
+        """Re-run the balancer over every region; returns the new assignment."""
+        self._assign_regions(list(self.regions))
+        return dict(self.assignment)
+
+    def split_region(self, region_name: str) -> tuple[Region, Region] | None:
+        """Split a region at its midpoint key (None when it cannot split)."""
+        region = self.regions.get(region_name)
+        if region is None:
+            raise NoSuchRegionError(f"unknown region {region_name!r}")
+        midpoint = region.midpoint_key()
+        if midpoint is None:
+            return None
+        server_name = self.assignment.get(region_name)
+        server = self.servers.get(server_name) if server_name else None
+        cells = region.all_cells()
+        low = Region(region.table, start_key=region.start_key, end_key=midpoint)
+        high = Region(region.table, start_key=midpoint, end_key=region.end_key)
+        for cell in cells:
+            target = low if low.contains(cell.row) else high
+            target.memstore.put(cell)
+        if server is not None:
+            server.close_region(region_name)
+        del self.regions[region_name]
+        self.assignment.pop(region_name, None)
+        for child in (low, high):
+            self.regions[child.name] = child
+        target_server = server or self._least_loaded_server()
+        if target_server is not None:
+            for child in (low, high):
+                target_server.open_region(child)
+                self.assignment[child.name] = target_server.name
+        return low, high
+
+    def maybe_split(self, region_name: str) -> bool:
+        """Split the region if it exceeds its configured split size."""
+        region = self.regions.get(region_name)
+        if region is None:
+            return False
+        server_name = self.assignment.get(region_name)
+        if server_name is None:
+            return False
+        server = self.servers[server_name]
+        if region.size_bytes < server.config.region_split_size_bytes:
+            return False
+        return self.split_region(region_name) is not None

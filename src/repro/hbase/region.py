@@ -1,0 +1,272 @@
+"""Regions: horizontal partitions of an HTable.
+
+A Region covers a contiguous row-key range ``[start_key, end_key)``.  Writes
+go to its memstore and are flushed into immutable store files (HFiles) kept
+in HDFS; reads consult the memstore first and then the store files from
+newest to oldest, going through the hosting RegionServer's block cache.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.hbase.storefile import StoreFile
+from repro.hbase.table import Cell, HTableDescriptor
+
+#: Sentinel value stored for deletes; filtered out of reads and compactions.
+TOMBSTONE = b"\x00__tombstone__"
+
+
+@dataclass
+class RegionRequestCounters:
+    """Per-region request counters exported to the monitor.
+
+    The scan counter is the metric the paper added to HBase (Section 5).
+    """
+
+    reads: int = 0
+    writes: int = 0
+    scans: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """Dictionary view of the counters."""
+        return {"reads": self.reads, "writes": self.writes, "scans": self.scans}
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.reads = 0
+        self.writes = 0
+        self.scans = 0
+
+    @property
+    def total(self) -> int:
+        """Total requests."""
+        return self.reads + self.writes + self.scans
+
+
+@dataclass
+class MemStore:
+    """In-memory write buffer of a region."""
+
+    cells: dict[str, dict[str, Cell]] = field(default_factory=dict)
+    size_bytes: int = 0
+
+    def put(self, cell: Cell) -> None:
+        """Insert or overwrite a cell."""
+        columns = self.cells.setdefault(cell.row, {})
+        previous = columns.get(cell.column)
+        if previous is not None:
+            self.size_bytes -= previous.size_bytes
+        columns[cell.column] = cell
+        self.size_bytes += cell.size_bytes
+
+    def get(self, row: str) -> dict[str, Cell]:
+        """Cells buffered for ``row``."""
+        return dict(self.cells.get(row, {}))
+
+    def rows(self) -> list[str]:
+        """Buffered rows in sorted order."""
+        return sorted(self.cells)
+
+    def drain(self) -> list[Cell]:
+        """Return all buffered cells and clear the memstore."""
+        cells = [cell for columns in self.cells.values() for cell in columns.values()]
+        self.cells.clear()
+        self.size_bytes = 0
+        return cells
+
+
+class Region:
+    """One horizontal partition of a table."""
+
+    _sequence = itertools.count(1)
+
+    def __init__(
+        self,
+        table: HTableDescriptor,
+        start_key: str = "",
+        end_key: str | None = None,
+        name: str | None = None,
+    ) -> None:
+        self.table = table
+        self.start_key = start_key
+        self.end_key = end_key
+        seq = next(Region._sequence)
+        start = start_key if start_key else "-inf"
+        self.name = name or f"{table.name},{start},{seq}"
+        self.memstore = MemStore()
+        self.store_files: list[StoreFile] = []
+        self.counters = RegionRequestCounters()
+        self._timestamp = itertools.count(1)
+
+    # ------------------------------------------------------------------ #
+    # key range
+    # ------------------------------------------------------------------ #
+    def contains(self, row: str) -> bool:
+        """Whether ``row`` falls in this region's key range."""
+        if row < self.start_key:
+            return False
+        if self.end_key is not None and row >= self.end_key:
+            return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # size accounting
+    # ------------------------------------------------------------------ #
+    @property
+    def store_file_bytes(self) -> int:
+        """Bytes held in store files."""
+        return sum(sf.size_bytes for sf in self.store_files)
+
+    @property
+    def size_bytes(self) -> int:
+        """Total region size (memstore + store files)."""
+        return self.memstore.size_bytes + self.store_file_bytes
+
+    @property
+    def store_file_paths(self) -> list[str]:
+        """HDFS paths of the region's store files."""
+        return [sf.path for sf in self.store_files]
+
+    # ------------------------------------------------------------------ #
+    # data operations (called by the RegionServer)
+    # ------------------------------------------------------------------ #
+    def next_timestamp(self) -> int:
+        """Monotonically increasing timestamp for new cells."""
+        return next(self._timestamp)
+
+    def put(self, row: str, column: str, value: bytes) -> Cell:
+        """Buffer a write in the memstore."""
+        self.table.validate_column(column)
+        cell = Cell(row=row, column=column, timestamp=self.next_timestamp(), value=value)
+        self.memstore.put(cell)
+        self.counters.writes += 1
+        return cell
+
+    def delete(self, row: str, column: str | None = None) -> None:
+        """Delete a column of a row, or the whole row when column is None."""
+        self.counters.writes += 1
+        timestamp = self.next_timestamp()
+        if column is not None:
+            self.memstore.put(Cell(row=row, column=column, timestamp=timestamp, value=TOMBSTONE))
+            return
+        for existing_column in self._columns_of(row):
+            self.memstore.put(
+                Cell(row=row, column=existing_column, timestamp=timestamp, value=TOMBSTONE)
+            )
+
+    def _columns_of(self, row: str) -> set[str]:
+        columns = set(self.memstore.get(row))
+        for store_file in self.store_files:
+            columns.update(store_file.get(row))
+        return columns
+
+    def read_row(self, row: str, block_reader) -> dict[str, bytes]:
+        """Merge the row's cells from memstore and store files.
+
+        ``block_reader(store_file, block)`` is called for every store-file
+        block touched so the RegionServer can account cache hits/misses and
+        HDFS locality.
+        """
+        merged: dict[str, Cell] = dict(self.memstore.get(row))
+        for store_file in self.store_files:
+            block = store_file.block_for_row(row)
+            file_cells = store_file.get(row)
+            if file_cells and block is not None:
+                block_reader(store_file, block)
+            for column, cell in file_cells.items():
+                current = merged.get(column)
+                if current is None or cell.timestamp > current.timestamp:
+                    merged[column] = cell
+        return {
+            column: cell.value
+            for column, cell in merged.items()
+            if cell.value != TOMBSTONE
+        }
+
+    def scan_rows(
+        self, start_row: str, stop_row: str | None, limit: int, block_reader
+    ) -> list[tuple[str, dict[str, bytes]]]:
+        """Rows in ``[start_row, stop_row)`` clipped to this region's range."""
+        effective_start = max(start_row, self.start_key)
+        effective_stop = stop_row
+        if self.end_key is not None:
+            effective_stop = (
+                self.end_key if stop_row is None else min(stop_row, self.end_key)
+            )
+        candidate_rows: set[str] = {
+            row
+            for row in self.memstore.rows()
+            if row >= effective_start
+            and (effective_stop is None or row < effective_stop)
+        }
+        for store_file in self.store_files:
+            candidate_rows.update(store_file.rows_in_range(effective_start, effective_stop))
+            for block in store_file.blocks_for_range(effective_start, effective_stop):
+                block_reader(store_file, block)
+        results: list[tuple[str, dict[str, bytes]]] = []
+        for row in sorted(candidate_rows):
+            values = self.read_row(row, block_reader=lambda *_: None)
+            if values:
+                results.append((row, values))
+            if len(results) >= limit:
+                break
+        return results
+
+    # ------------------------------------------------------------------ #
+    # flush / compaction / split
+    # ------------------------------------------------------------------ #
+    def flush(self, path: str, block_size_bytes: int) -> StoreFile | None:
+        """Flush the memstore into a new store file (None when empty)."""
+        cells = self.memstore.drain()
+        if not cells:
+            return None
+        store_file = StoreFile(path=path, cells=cells, block_size_bytes=block_size_bytes)
+        self.store_files.insert(0, store_file)
+        return store_file
+
+    def compact(self, path: str, block_size_bytes: int) -> StoreFile | None:
+        """Merge every store file into one, dropping tombstones and old versions."""
+        if not self.store_files:
+            return None
+        latest: dict[tuple[str, str], Cell] = {}
+        for store_file in self.store_files:
+            for cell in store_file.all_cells():
+                key = (cell.row, cell.column)
+                current = latest.get(key)
+                if current is None or cell.timestamp > current.timestamp:
+                    latest[key] = cell
+        survivors = [cell for cell in latest.values() if cell.value != TOMBSTONE]
+        self.store_files = []
+        if not survivors:
+            return None
+        merged = StoreFile(path=path, cells=survivors, block_size_bytes=block_size_bytes)
+        self.store_files = [merged]
+        return merged
+
+    def midpoint_key(self) -> str | None:
+        """A row key that splits the region roughly in half (None if tiny)."""
+        rows = set(self.memstore.rows())
+        for store_file in self.store_files:
+            rows.update(store_file.rows_in_range(self.start_key, self.end_key))
+        ordered = sorted(rows)
+        if len(ordered) < 2:
+            return None
+        midpoint = ordered[len(ordered) // 2]
+        if midpoint == self.start_key:
+            return None
+        return midpoint
+
+    def all_cells(self) -> list[Cell]:
+        """Every live cell (memstore + store files), newest version per column."""
+        latest: dict[tuple[str, str], Cell] = {}
+        sources = [cell for columns in self.memstore.cells.values() for cell in columns.values()]
+        for store_file in self.store_files:
+            sources.extend(store_file.all_cells())
+        for cell in sources:
+            key = (cell.row, cell.column)
+            current = latest.get(key)
+            if current is None or cell.timestamp > current.timestamp:
+                latest[key] = cell
+        return [cell for cell in latest.values() if cell.value != TOMBSTONE]

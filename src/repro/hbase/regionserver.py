@@ -1,0 +1,287 @@
+"""RegionServers: serve Regions, own a memstore budget and an LRU block cache."""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.hbase.config import RegionServerConfig
+from repro.hbase.errors import NoSuchRegionError
+from repro.hbase.region import Region
+from repro.hbase.storefile import StoreFile, StoreFileBlock
+from repro.hdfs.namenode import NameNode
+
+#: Default Java heap of a RegionServer in the paper's testbed (3 GB).
+DEFAULT_HEAP_BYTES = 3 * 1024 * 1024 * 1024
+
+
+@dataclass
+class CacheStats:
+    """Block-cache hit/miss and locality counters."""
+
+    hits: int = 0
+    misses: int = 0
+    local_reads: int = 0
+    remote_reads: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Cache hit ratio (1.0 when no reads were performed)."""
+        total = self.hits + self.misses
+        return 1.0 if total == 0 else self.hits / total
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.hits = 0
+        self.misses = 0
+        self.local_reads = 0
+        self.remote_reads = 0
+
+
+class BlockCache:
+    """A size-bounded LRU cache of store-file blocks."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        self.capacity_bytes = max(capacity_bytes, 0)
+        self.used_bytes = 0
+        self._entries: OrderedDict[tuple[str, int], int] = OrderedDict()
+
+    def __contains__(self, key: tuple[str, int]) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def touch(self, key: tuple[str, int]) -> bool:
+        """Mark ``key`` as recently used; returns True when it was cached."""
+        if key not in self._entries:
+            return False
+        self._entries.move_to_end(key)
+        return True
+
+    def insert(self, key: tuple[str, int], size_bytes: int) -> None:
+        """Insert a block, evicting least-recently-used blocks as needed."""
+        if size_bytes > self.capacity_bytes:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return
+        while self.used_bytes + size_bytes > self.capacity_bytes and self._entries:
+            _, evicted_size = self._entries.popitem(last=False)
+            self.used_bytes -= evicted_size
+        self._entries[key] = size_bytes
+        self.used_bytes += size_bytes
+
+    def evict_file(self, path: str) -> None:
+        """Drop every cached block belonging to ``path``."""
+        for key in [key for key in self._entries if key[0] == path]:
+            self.used_bytes -= self._entries.pop(key)
+
+    def clear(self) -> None:
+        """Empty the cache (a RegionServer restart loses its cache)."""
+        self._entries.clear()
+        self.used_bytes = 0
+
+    def resize(self, capacity_bytes: int) -> None:
+        """Change the capacity, evicting as needed."""
+        self.capacity_bytes = max(capacity_bytes, 0)
+        while self.used_bytes > self.capacity_bytes and self._entries:
+            _, evicted_size = self._entries.popitem(last=False)
+            self.used_bytes -= evicted_size
+
+
+class RegionServer:
+    """Serves a set of Regions with one configuration (Table 1 profile)."""
+
+    def __init__(
+        self,
+        name: str,
+        namenode: NameNode,
+        config: RegionServerConfig | None = None,
+        heap_bytes: int = DEFAULT_HEAP_BYTES,
+        profile_name: str = "default",
+    ) -> None:
+        self.name = name
+        self.namenode = namenode
+        self.config = (config or RegionServerConfig()).validate()
+        self.heap_bytes = heap_bytes
+        self.profile_name = profile_name
+        self.regions: dict[str, Region] = {}
+        self.block_cache = BlockCache(self.config.block_cache_bytes(heap_bytes))
+        self.cache_stats = CacheStats()
+        self.online = True
+        self._flush_counter = itertools.count(1)
+        self.namenode.register_datanode(self.name)
+
+    # ------------------------------------------------------------------ #
+    # region hosting
+    # ------------------------------------------------------------------ #
+    def open_region(self, region: Region) -> None:
+        """Start serving ``region``."""
+        self.regions[region.name] = region
+
+    def close_region(self, region_name: str) -> Region:
+        """Stop serving a region and return it (for reassignment)."""
+        try:
+            return self.regions.pop(region_name)
+        except KeyError:
+            raise NoSuchRegionError(
+                f"region {region_name!r} is not served by {self.name}"
+            ) from None
+
+    def hosted_regions(self) -> list[Region]:
+        """Regions currently served."""
+        return list(self.regions.values())
+
+    # ------------------------------------------------------------------ #
+    # configuration / restart
+    # ------------------------------------------------------------------ #
+    def apply_config(self, config: RegionServerConfig, profile_name: str | None = None) -> None:
+        """Apply a new configuration.
+
+        HBase has no online reconfiguration (Section 5): applying a config is
+        modelled as a restart, which empties the block cache.
+        """
+        self.config = config.validate()
+        if profile_name is not None:
+            self.profile_name = profile_name
+        self.block_cache = BlockCache(self.config.block_cache_bytes(self.heap_bytes))
+        self.cache_stats.reset()
+
+    # ------------------------------------------------------------------ #
+    # memstore management
+    # ------------------------------------------------------------------ #
+    @property
+    def memstore_limit_bytes(self) -> int:
+        """Global memstore budget for this server."""
+        return self.config.memstore_bytes(self.heap_bytes)
+
+    @property
+    def memstore_used_bytes(self) -> int:
+        """Bytes currently buffered across hosted regions."""
+        return sum(region.memstore.size_bytes for region in self.regions.values())
+
+    def region_flush_threshold(self) -> int:
+        """Per-region flush threshold given the hosted region count."""
+        hosted = max(len(self.regions), 1)
+        return max(self.memstore_limit_bytes // hosted, 1)
+
+    def maybe_flush(self, region: Region) -> bool:
+        """Flush ``region`` if its memstore exceeds the per-region threshold."""
+        if region.memstore.size_bytes < self.region_flush_threshold():
+            return False
+        self.flush_region(region)
+        return True
+
+    def flush_region(self, region: Region) -> None:
+        """Flush a region's memstore into a new store file on HDFS."""
+        path = f"/hbase/{region.table.name}/{region.name}/flush-{next(self._flush_counter)}"
+        store_file = region.flush(path, self.config.block_size_bytes)
+        if store_file is None:
+            return
+        self.namenode.create_file(
+            path, store_file.size_bytes, preferred_datanode=self.name
+        )
+
+    # ------------------------------------------------------------------ #
+    # data path
+    # ------------------------------------------------------------------ #
+    def _region_for_key(self, table: str, row: str) -> Region:
+        for region in self.regions.values():
+            if region.table.name == table and region.contains(row):
+                return region
+        raise NoSuchRegionError(f"{self.name} serves no region of {table!r} covering {row!r}")
+
+    def _read_block(self, store_file: StoreFile, block: StoreFileBlock) -> None:
+        """Account a block access: cache hit/miss and HDFS locality."""
+        key = (store_file.path, block.index)
+        if self.block_cache.touch(key):
+            self.cache_stats.hits += 1
+            return
+        self.cache_stats.misses += 1
+        if self.namenode.exists(store_file.path) and self.namenode.is_local(
+            store_file.path, self.name
+        ):
+            self.cache_stats.local_reads += 1
+        else:
+            self.cache_stats.remote_reads += 1
+        self.block_cache.insert(key, block.size_bytes)
+
+    def put(self, table: str, row: str, column: str, value: bytes) -> None:
+        """Write one cell."""
+        region = self._region_for_key(table, row)
+        region.put(row, column, value)
+        self.maybe_flush(region)
+
+    def get(self, table: str, row: str) -> dict[str, bytes]:
+        """Read one row (all columns)."""
+        region = self._region_for_key(table, row)
+        region.counters.reads += 1
+        return region.read_row(row, block_reader=self._read_block)
+
+    def delete(self, table: str, row: str, column: str | None = None) -> None:
+        """Delete a column or a whole row."""
+        region = self._region_for_key(table, row)
+        region.delete(row, column)
+        self.maybe_flush(region)
+
+    def scan(
+        self, table: str, start_row: str, stop_row: str | None, limit: int
+    ) -> list[tuple[str, dict[str, bytes]]]:
+        """Scan rows across the hosted regions of ``table``."""
+        results: list[tuple[str, dict[str, bytes]]] = []
+        regions = sorted(
+            (r for r in self.regions.values() if r.table.name == table),
+            key=lambda r: r.start_key,
+        )
+        for region in regions:
+            if stop_row is not None and region.start_key and region.start_key >= stop_row:
+                break
+            region.counters.scans += 1
+            remaining = limit - len(results)
+            if remaining <= 0:
+                break
+            results.extend(
+                region.scan_rows(start_row, stop_row, remaining, self._read_block)
+            )
+        return results[:limit]
+
+    # ------------------------------------------------------------------ #
+    # compaction / locality
+    # ------------------------------------------------------------------ #
+    def major_compact(self, region_name: str) -> None:
+        """Run a major compaction of one region, restoring data locality."""
+        region = self.regions.get(region_name)
+        if region is None:
+            raise NoSuchRegionError(f"region {region_name!r} is not served by {self.name}")
+        old_paths = region.store_file_paths
+        self.flush_region(region)
+        old_paths = list(dict.fromkeys(old_paths + region.store_file_paths))
+        path = f"/hbase/{region.table.name}/{region.name}/compact-{next(self._flush_counter)}"
+        merged = region.compact(path, self.config.block_size_bytes)
+        for old_path in old_paths:
+            self.block_cache.evict_file(old_path)
+            self.namenode.delete_file(old_path)
+        if merged is not None:
+            self.namenode.create_file(
+                path, merged.size_bytes, preferred_datanode=self.name
+            )
+
+    def locality_index(self) -> float:
+        """Fraction of hosted data stored on the co-located DataNode."""
+        paths = [
+            path for region in self.regions.values() for path in region.store_file_paths
+        ]
+        return self.namenode.locality_index(paths, self.name)
+
+    # ------------------------------------------------------------------ #
+    # metrics
+    # ------------------------------------------------------------------ #
+    def request_counters(self) -> dict[str, dict[str, int]]:
+        """Per-region read/write/scan counters."""
+        return {name: region.counters.snapshot() for name, region in self.regions.items()}
+
+    def total_requests(self) -> int:
+        """Total requests served across hosted regions."""
+        return sum(region.counters.total for region in self.regions.values())

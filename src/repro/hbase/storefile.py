@@ -1,0 +1,125 @@
+"""Immutable store files (HFiles) backing a Region.
+
+A store file is produced by flushing a memstore or by compaction.  It keeps
+its cells sorted by row and is divided into fixed-size blocks: the block is
+the unit of caching in the RegionServer's block cache and the unit of I/O
+accounting, which is how the block-size configuration parameter influences
+random-read and scan performance.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+from repro.hbase.table import Cell
+
+
+@dataclass
+class StoreFileBlock:
+    """One block of a store file: a contiguous run of rows."""
+
+    index: int
+    first_row: str
+    size_bytes: int
+    rows: list[str] = field(default_factory=list)
+
+
+class StoreFile:
+    """An immutable, sorted collection of cells divided into blocks."""
+
+    def __init__(self, path: str, cells: list[Cell], block_size_bytes: int) -> None:
+        if block_size_bytes <= 0:
+            raise ValueError(f"block size must be positive, got {block_size_bytes!r}")
+        self.path = path
+        self.block_size_bytes = block_size_bytes
+        # Latest cell wins for identical (row, column, timestamp); keep all
+        # versions otherwise, newest first per column.
+        self._by_row: dict[str, dict[str, Cell]] = {}
+        for cell in sorted(cells, key=lambda c: (c.row, c.column, -c.timestamp)):
+            columns = self._by_row.setdefault(cell.row, {})
+            columns.setdefault(cell.column, cell)
+        self._rows = sorted(self._by_row)
+        self.blocks: list[StoreFileBlock] = []
+        self._block_first_rows: list[str] = []
+        self._build_blocks()
+
+    def _build_blocks(self) -> None:
+        current_rows: list[str] = []
+        current_size = 0
+        for row in self._rows:
+            row_size = sum(cell.size_bytes for cell in self._by_row[row].values())
+            if current_rows and current_size + row_size > self.block_size_bytes:
+                self._append_block(current_rows, current_size)
+                current_rows = []
+                current_size = 0
+            current_rows.append(row)
+            current_size += row_size
+        if current_rows:
+            self._append_block(current_rows, current_size)
+
+    def _append_block(self, rows: list[str], size: int) -> None:
+        block = StoreFileBlock(
+            index=len(self.blocks),
+            first_row=rows[0],
+            size_bytes=size,
+            rows=list(rows),
+        )
+        self.blocks.append(block)
+        self._block_first_rows.append(rows[0])
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def size_bytes(self) -> int:
+        """Total file size."""
+        return sum(block.size_bytes for block in self.blocks)
+
+    @property
+    def row_count(self) -> int:
+        """Number of distinct rows."""
+        return len(self._rows)
+
+    def block_for_row(self, row: str) -> StoreFileBlock | None:
+        """The block that would contain ``row`` (None for an empty file)."""
+        if not self.blocks:
+            return None
+        index = bisect_right(self._block_first_rows, row) - 1
+        if index < 0:
+            index = 0
+        return self.blocks[index]
+
+    def get(self, row: str) -> dict[str, Cell]:
+        """Cells of ``row`` in this file (empty dict when absent)."""
+        return dict(self._by_row.get(row, {}))
+
+    def rows_in_range(self, start_row: str, stop_row: str | None) -> list[str]:
+        """Rows with ``start_row <= row < stop_row`` in sorted order."""
+        result = []
+        for row in self._rows:
+            if row < start_row:
+                continue
+            if stop_row is not None and row >= stop_row:
+                break
+            result.append(row)
+        return result
+
+    def blocks_for_range(self, start_row: str, stop_row: str | None) -> list[StoreFileBlock]:
+        """Blocks overlapping the given row range."""
+        touched: list[StoreFileBlock] = []
+        for block in self.blocks:
+            last_row = block.rows[-1]
+            if last_row < start_row:
+                continue
+            if stop_row is not None and block.first_row >= stop_row:
+                break
+            touched.append(block)
+        return touched
+
+    def all_cells(self) -> list[Cell]:
+        """Every cell in the file (used by compaction)."""
+        cells: list[Cell] = []
+        for row in self._rows:
+            cells.extend(self._by_row[row].values())
+        return cells

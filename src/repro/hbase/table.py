@@ -1,0 +1,71 @@
+"""Table schema and cell model.
+
+HBase's data model is a multi-dimensional sorted map indexed by row key,
+column (grouped into column families) and timestamp (Section 2.1).  A
+:class:`Cell` is one versioned value; :class:`HTableDescriptor` declares a
+table and its column families.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Cell:
+    """One versioned value of a row/column pair."""
+
+    row: str
+    column: str
+    timestamp: int
+    value: bytes = field(compare=False)
+
+    @property
+    def family(self) -> str:
+        """Column family part of the column name (``family:qualifier``)."""
+        return self.column.split(":", 1)[0]
+
+    @property
+    def qualifier(self) -> str:
+        """Qualifier part of the column name."""
+        parts = self.column.split(":", 1)
+        return parts[1] if len(parts) > 1 else ""
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate storage footprint of the cell."""
+        return len(self.row) + len(self.column) + 8 + len(self.value)
+
+
+@dataclass(frozen=True)
+class HTableDescriptor:
+    """Declaration of a table and its column families."""
+
+    name: str
+    column_families: tuple[str, ...] = ("cf",)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("table name must not be empty")
+        if not self.column_families:
+            raise ValueError("a table needs at least one column family")
+
+    def has_family(self, family: str) -> bool:
+        """Whether the table declares ``family``."""
+        return family in self.column_families
+
+    def validate_column(self, column: str) -> str:
+        """Check a ``family:qualifier`` column name against the schema."""
+        family = column.split(":", 1)[0]
+        if not self.has_family(family):
+            raise ValueError(
+                f"table {self.name!r} has no column family {family!r} "
+                f"(declared: {', '.join(self.column_families)})"
+            )
+        return column
+
+
+def region_name(table: str, start_key: str, sequence: int) -> str:
+    """Build the canonical region name used across the substrate."""
+    start = start_key if start_key else "-inf"
+    return f"{table},{start},{sequence}"

@@ -1,0 +1,14 @@
+"""HDFS-like block storage substrate.
+
+HBase stores each Region as appendable files in HDFS (Section 2.1).  This
+package provides the pieces the functional mini-HBase needs: a NameNode that
+tracks files, blocks and replica placement, DataNodes with finite capacity,
+and the locality accounting that MeT's monitor reads (the locality index of a
+RegionServer is the fraction of its data stored on the co-located DataNode).
+"""
+
+from repro.hdfs.block import Block, BlockFile
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.namenode import NameNode
+
+__all__ = ["Block", "BlockFile", "DataNode", "NameNode"]

@@ -1,0 +1,40 @@
+"""Blocks and files as tracked by the NameNode."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Default HDFS block size (64 MB historically, configurable).
+DEFAULT_BLOCK_SIZE = 64 * 1024 * 1024
+
+
+@dataclass
+class Block:
+    """One replicated block of a file."""
+
+    block_id: str
+    size_bytes: int
+    replicas: list[str] = field(default_factory=list)
+
+    def is_replica(self, datanode: str) -> bool:
+        """Whether ``datanode`` stores a replica of this block."""
+        return datanode in self.replicas
+
+
+@dataclass
+class BlockFile:
+    """A file split into blocks."""
+
+    path: str
+    blocks: list[Block] = field(default_factory=list)
+
+    @property
+    def size_bytes(self) -> int:
+        """Total file size."""
+        return sum(block.size_bytes for block in self.blocks)
+
+    def local_bytes(self, datanode: str) -> int:
+        """Bytes of this file that have a replica on ``datanode``."""
+        return sum(
+            block.size_bytes for block in self.blocks if block.is_replica(datanode)
+        )

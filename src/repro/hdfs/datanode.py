@@ -1,0 +1,42 @@
+"""DataNodes: storage capacity and block inventory."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class DataNodeFullError(RuntimeError):
+    """Raised when a DataNode cannot store another replica."""
+
+
+@dataclass
+class DataNode:
+    """One HDFS DataNode, usually co-located with a RegionServer."""
+
+    name: str
+    capacity_bytes: int = 500 * 1024 * 1024 * 1024
+    used_bytes: int = 0
+    block_ids: set[str] = field(default_factory=set)
+
+    @property
+    def free_bytes(self) -> int:
+        """Remaining capacity."""
+        return self.capacity_bytes - self.used_bytes
+
+    def store(self, block_id: str, size_bytes: int) -> None:
+        """Store a replica of ``block_id``."""
+        if block_id in self.block_ids:
+            return
+        if size_bytes > self.free_bytes:
+            raise DataNodeFullError(
+                f"datanode {self.name} cannot store {size_bytes} bytes "
+                f"(free: {self.free_bytes})"
+            )
+        self.block_ids.add(block_id)
+        self.used_bytes += size_bytes
+
+    def evict(self, block_id: str, size_bytes: int) -> None:
+        """Drop a replica of ``block_id`` if present."""
+        if block_id in self.block_ids:
+            self.block_ids.remove(block_id)
+            self.used_bytes = max(0, self.used_bytes - size_bytes)

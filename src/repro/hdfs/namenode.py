@@ -1,0 +1,151 @@
+"""The NameNode: file namespace, block placement and locality accounting."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+from repro.hdfs.block import DEFAULT_BLOCK_SIZE, Block, BlockFile
+from repro.hdfs.datanode import DataNode, DataNodeFullError
+
+
+class HDFSError(RuntimeError):
+    """Raised for namespace errors (missing files, no datanodes, ...)."""
+
+
+class NameNode:
+    """Tracks files, blocks and replica locations.
+
+    Placement policy mirrors HDFS: the first replica goes to the *preferred*
+    (writing) DataNode when one is given, the remaining replicas go to
+    distinct randomly chosen DataNodes.
+    """
+
+    def __init__(
+        self,
+        replication: int = 2,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        seed: int | None = None,
+    ) -> None:
+        if replication < 1:
+            raise ValueError(f"replication must be >= 1, got {replication!r}")
+        self.replication = replication
+        self.block_size = block_size
+        self.datanodes: dict[str, DataNode] = {}
+        self.files: dict[str, BlockFile] = {}
+        self._rng = random.Random(seed)
+        self._block_counter = itertools.count(1)
+
+    # ------------------------------------------------------------------ #
+    # datanode management
+    # ------------------------------------------------------------------ #
+    def register_datanode(self, name: str, capacity_bytes: int | None = None) -> DataNode:
+        """Register a DataNode (idempotent)."""
+        if name not in self.datanodes:
+            kwargs = {} if capacity_bytes is None else {"capacity_bytes": capacity_bytes}
+            self.datanodes[name] = DataNode(name=name, **kwargs)
+        return self.datanodes[name]
+
+    def decommission_datanode(self, name: str) -> None:
+        """Remove a DataNode and re-replicate the blocks it held."""
+        node = self.datanodes.pop(name, None)
+        if node is None:
+            return
+        for file in self.files.values():
+            for block in file.blocks:
+                if name in block.replicas:
+                    block.replicas.remove(name)
+                    self._add_replicas(block, needed=1, exclude=set(block.replicas))
+
+    # ------------------------------------------------------------------ #
+    # file operations
+    # ------------------------------------------------------------------ #
+    def create_file(
+        self, path: str, size_bytes: int, preferred_datanode: str | None = None
+    ) -> BlockFile:
+        """Create a file of ``size_bytes``, placing replicas per policy."""
+        if path in self.files:
+            raise HDFSError(f"file already exists: {path!r}")
+        if not self.datanodes:
+            raise HDFSError("no datanodes registered")
+        file = BlockFile(path=path)
+        remaining = max(size_bytes, 1)
+        while remaining > 0:
+            block_bytes = min(remaining, self.block_size)
+            block = Block(block_id=f"blk_{next(self._block_counter)}", size_bytes=block_bytes)
+            exclude: set[str] = set()
+            if preferred_datanode is not None and preferred_datanode in self.datanodes:
+                self._store_replica(block, preferred_datanode)
+                exclude.add(preferred_datanode)
+            self._add_replicas(
+                block, needed=self.replication - len(block.replicas), exclude=exclude
+            )
+            file.blocks.append(block)
+            remaining -= block_bytes
+        self.files[path] = file
+        return file
+
+    def delete_file(self, path: str) -> None:
+        """Delete a file and free its replicas."""
+        file = self.files.pop(path, None)
+        if file is None:
+            return
+        for block in file.blocks:
+            for replica in block.replicas:
+                datanode = self.datanodes.get(replica)
+                if datanode is not None:
+                    datanode.evict(block.block_id, block.size_bytes)
+
+    def get_file(self, path: str) -> BlockFile:
+        """Return the file metadata for ``path``."""
+        try:
+            return self.files[path]
+        except KeyError:
+            raise HDFSError(f"no such file: {path!r}") from None
+
+    def exists(self, path: str) -> bool:
+        """Whether ``path`` exists."""
+        return path in self.files
+
+    # ------------------------------------------------------------------ #
+    # locality
+    # ------------------------------------------------------------------ #
+    def locality_index(self, paths: list[str], datanode: str) -> float:
+        """Fraction of the bytes of ``paths`` stored locally on ``datanode``."""
+        total = 0
+        local = 0
+        for path in paths:
+            file = self.files.get(path)
+            if file is None:
+                continue
+            total += file.size_bytes
+            local += file.local_bytes(datanode)
+        if total == 0:
+            return 1.0
+        return local / total
+
+    def is_local(self, path: str, datanode: str) -> bool:
+        """Whether every block of ``path`` has a replica on ``datanode``."""
+        file = self.get_file(path)
+        return all(block.is_replica(datanode) for block in file.blocks)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _store_replica(self, block: Block, datanode_name: str) -> bool:
+        datanode = self.datanodes[datanode_name]
+        try:
+            datanode.store(block.block_id, block.size_bytes)
+        except DataNodeFullError:
+            return False
+        block.replicas.append(datanode_name)
+        return True
+
+    def _add_replicas(self, block: Block, needed: int, exclude: set[str]) -> None:
+        candidates = [name for name in self.datanodes if name not in exclude]
+        self._rng.shuffle(candidates)
+        for name in candidates:
+            if needed <= 0:
+                break
+            if self._store_replica(block, name):
+                needed -= 1

@@ -1,0 +1,68 @@
+"""Ganglia-like collector for system-level metrics.
+
+The Monitor gathers CPU usage, memory usage and I/O wait of the various
+nodes through Ganglia (Section 5).  :class:`GangliaCollector` is a thin,
+periodic poller over a :class:`~repro.monitoring.collector.MetricsSource`
+that keeps bounded history per node and metric.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.monitoring.collector import MetricsSource
+
+#: Metric names exported by the collector.
+SYSTEM_METRICS = ("cpu", "io_wait", "memory")
+
+
+class GangliaCollector:
+    """Polls system metrics with a bounded history per node."""
+
+    def __init__(
+        self,
+        source: MetricsSource,
+        period_seconds: float = 30.0,
+        history_size: int = 120,
+    ) -> None:
+        if history_size <= 0:
+            raise ValueError("history size must be positive")
+        self.source = source
+        self.period_seconds = period_seconds
+        self.history_size = history_size
+        self._history: dict[tuple[str, str], deque[tuple[float, float]]] = {}
+        self._last_poll: float | None = None
+
+    def due(self, now: float) -> bool:
+        """Whether the poll period elapsed."""
+        if self._last_poll is None:
+            return True
+        return now - self._last_poll >= self.period_seconds - 1e-9
+
+    def poll(self, now: float) -> dict[str, dict[str, float]]:
+        """Collect one sample per online node; returns the raw values."""
+        self._last_poll = now
+        sample: dict[str, dict[str, float]] = {}
+        for name in self.source.online_node_names():
+            metrics = self.source.node_system_metrics(name)
+            sample[name] = {metric: metrics.get(metric, 0.0) for metric in SYSTEM_METRICS}
+            for metric, value in sample[name].items():
+                self._series(name, metric).append((now, value))
+        return sample
+
+    def _series(self, node: str, metric: str) -> deque[tuple[float, float]]:
+        key = (node, metric)
+        if key not in self._history:
+            self._history[key] = deque(maxlen=self.history_size)
+        return self._history[key]
+
+    def history(self, node: str, metric: str) -> list[tuple[float, float]]:
+        """Recorded (timestamp, value) samples for one node metric."""
+        return list(self._history.get((node, metric), []))
+
+    def latest(self, node: str, metric: str, default: float = 0.0) -> float:
+        """Most recent value of a node metric."""
+        series = self._history.get((node, metric))
+        if not series:
+            return default
+        return series[-1][1]

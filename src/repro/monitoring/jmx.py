@@ -1,0 +1,64 @@
+"""JMX-like collector for HBase-specific metrics.
+
+The paper collects, per RegionServer and per Region, the total number of
+read, write and scan requests (the scan counter was added to HBase by the
+authors), the number of requests per second and the locality index of the
+co-located DataNode (Section 5).  :class:`JMXCollector` exposes those
+figures from a :class:`~repro.monitoring.collector.MetricsSource`.
+"""
+
+from __future__ import annotations
+
+from repro.monitoring.collector import MetricsSource
+
+
+class JMXCollector:
+    """Pulls per-node and per-Region database metrics."""
+
+    def __init__(self, source: MetricsSource) -> None:
+        self.source = source
+        self._last_totals: dict[str, float] = {}
+        self._last_poll_time: float | None = None
+        self._requests_per_second: dict[str, float] = {}
+
+    def poll(self, now: float) -> dict[str, dict[str, float]]:
+        """Collect per-partition counters and update request-rate estimates."""
+        stats = self.source.partition_stats()
+        per_node_totals: dict[str, float] = {}
+        for partition_stats in stats.values():
+            node = partition_stats.get("node")
+            if node is None:
+                continue
+            total = (
+                partition_stats.get("reads", 0.0)
+                + partition_stats.get("writes", 0.0)
+                + partition_stats.get("scans", 0.0)
+            )
+            per_node_totals[node] = per_node_totals.get(node, 0.0) + total
+        if self._last_poll_time is not None and now > self._last_poll_time:
+            dt = now - self._last_poll_time
+            for node, total in per_node_totals.items():
+                delta = total - self._last_totals.get(node, 0.0)
+                self._requests_per_second[node] = max(0.0, delta / dt)
+        self._last_totals = per_node_totals
+        self._last_poll_time = now
+        return stats
+
+    def requests_per_second(self, node: str) -> float:
+        """Most recent request-rate estimate for a node."""
+        return self._requests_per_second.get(node, 0.0)
+
+    def locality_index(self, node: str) -> float:
+        """Locality index of a node's co-located DataNode."""
+        return self.source.node_locality(node)
+
+    def region_request_breakdown(self) -> dict[str, dict[str, float]]:
+        """Per-partition read/write/scan counters."""
+        return {
+            partition_id: {
+                "reads": stats.get("reads", 0.0),
+                "writes": stats.get("writes", 0.0),
+                "scans": stats.get("scans", 0.0),
+            }
+            for partition_id, stats in self.source.partition_stats().items()
+        }

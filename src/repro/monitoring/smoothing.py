@@ -1,0 +1,74 @@
+"""Exponential smoothing of metric observations.
+
+To avoid reacting to temporary load spikes, MeT smooths the observations in
+each monitoring window so that the last observation weighs the most and
+importance decreases exponentially towards the first one (Section 4.1,
+citing Brown's exponential smoothing).  The monitor also discards
+observations taken before the last actuator action.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExponentialSmoother:
+    """Exponentially weighted smoothing over a bounded observation window.
+
+    Attributes:
+        alpha: smoothing factor in (0, 1]; higher values weigh recent
+            observations more.
+        window: maximum number of observations retained.
+    """
+
+    alpha: float = 0.5
+    window: int = 6
+    _observations: list[float] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {self.alpha!r}")
+        if self.window <= 0:
+            raise ValueError(f"window must be positive, got {self.window!r}")
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self._observations.append(float(value))
+        if len(self._observations) > self.window:
+            self._observations = self._observations[-self.window :]
+
+    def reset(self) -> None:
+        """Discard all observations (called after each actuator action)."""
+        self._observations.clear()
+
+    @property
+    def count(self) -> int:
+        """Number of retained observations."""
+        return len(self._observations)
+
+    @property
+    def is_warm(self) -> bool:
+        """Whether the window is full (enough samples to decide on)."""
+        return len(self._observations) >= self.window
+
+    def value(self, default: float = 0.0) -> float:
+        """Smoothed value; the most recent observation weighs the most."""
+        if not self._observations:
+            return default
+        smoothed = self._observations[0]
+        for observation in self._observations[1:]:
+            smoothed = self.alpha * observation + (1.0 - self.alpha) * smoothed
+        return smoothed
+
+    def raw(self) -> list[float]:
+        """The retained observations, oldest first."""
+        return list(self._observations)
+
+
+def smooth_series(values: list[float], alpha: float = 0.5) -> float:
+    """Smooth a list of observations (oldest first) in one call."""
+    smoother = ExponentialSmoother(alpha=alpha, window=max(len(values), 1))
+    for value in values:
+        smoother.observe(value)
+    return smoother.value()

@@ -1,0 +1,57 @@
+"""Simulation clock.
+
+The simulator is time-stepped: the experiment harness advances the clock in
+fixed ticks (default 5 simulated seconds).  Components that need wall-clock
+style timestamps (metric samples, event traces, controller decisions) read
+the shared clock instead of ``time.time`` so runs are deterministic and can
+be replayed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class ClockError(RuntimeError):
+    """Raised when the clock is advanced by a non-positive amount."""
+
+
+@dataclass
+class SimulationClock:
+    """A monotonically increasing simulated clock.
+
+    Attributes:
+        now: current simulated time in seconds.
+        tick_seconds: default advance amount used by :meth:`tick`.
+    """
+
+    now: float = 0.0
+    tick_seconds: float = 5.0
+    _history: list[float] = field(default_factory=list, repr=False)
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock by ``seconds`` and return the new time."""
+        if seconds <= 0:
+            raise ClockError(f"clock can only move forward, got {seconds!r}")
+        self.now += seconds
+        self._history.append(self.now)
+        return self.now
+
+    def tick(self) -> float:
+        """Advance the clock by the default tick size."""
+        return self.advance(self.tick_seconds)
+
+    def reset(self) -> None:
+        """Reset the clock to zero, clearing history."""
+        self.now = 0.0
+        self._history.clear()
+
+    @property
+    def minutes(self) -> float:
+        """Current simulated time expressed in minutes."""
+        return self.now / 60.0
+
+    @property
+    def ticks_elapsed(self) -> int:
+        """Number of advances performed since the last reset."""
+        return len(self._history)

@@ -1,0 +1,552 @@
+"""Time-stepped cluster simulator.
+
+:class:`ClusterSimulator` is the analytical substitute for the paper's
+physical HBase/HDFS deployment.  It tracks RegionServers (with their
+heterogeneous configurations), data partitions (Regions), and the closed-loop
+client populations, and advances them in fixed ticks.
+
+The simulator exposes exactly the observables and actions that the MeT
+framework, the tiramola baseline and the manual strategies need:
+
+* observables -- per-node system metrics (CPU, I/O wait, memory), per-node
+  locality index, per-region read/write/scan counters, per-tenant
+  throughput;
+* actions -- add/remove nodes (with IaaS-like boot delays), reconfigure a
+  node (drain + restart), move regions, trigger major compactions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.hbase.config import DEFAULT_HOMOGENEOUS, RegionServerConfig
+from repro.simulation.clock import SimulationClock
+from repro.simulation.hardware import MB, HardwareSpec
+from repro.simulation.metrics import MetricsRegistry
+from repro.simulation.perfmodel import PerformanceModel, RegionLoadProfile
+from repro.simulation.workload import WorkloadBinding
+
+#: Time for a new virtual machine to boot and join the cluster (seconds).
+DEFAULT_BOOT_SECONDS = 90.0
+#: Time for a RegionServer restart during reconfiguration (seconds).
+DEFAULT_RESTART_SECONDS = 35.0
+#: Share of disk bandwidth a major compaction may consume.
+COMPACTION_DISK_SHARE = 0.45
+#: Locality of a region right after it is moved to a node that does not hold
+#: its blocks (some blocks may still be cached or co-located by chance).
+REMOTE_LOCALITY = 0.05
+
+#: Node lifecycle states.
+STATE_ONLINE = "online"
+STATE_BOOTING = "booting"
+STATE_RESTARTING = "restarting"
+STATE_OFFLINE = "offline"
+
+
+class SimulationError(RuntimeError):
+    """Raised on invalid cluster operations (unknown node, bad move, ...)."""
+
+
+@dataclass
+class SimulatedRegion:
+    """One data partition (an HBase Region) in the simulator."""
+
+    region_id: str
+    workload: str
+    size_bytes: float
+    record_size: int = 1024
+    scan_length: int = 50
+    hot_data_fraction: float = 0.40
+    hot_request_fraction: float = 0.50
+    node: str | None = None
+    block_homes: set[str] = field(default_factory=set)
+    reads: float = 0.0
+    writes: float = 0.0
+    scans: float = 0.0
+    read_rate: float = 0.0
+    write_rate: float = 0.0
+    scan_rate: float = 0.0
+
+    @property
+    def locality(self) -> float:
+        """1.0 when the hosting node also stores the region's blocks."""
+        if self.node is None:
+            return 0.0
+        return 1.0 if self.node in self.block_homes else REMOTE_LOCALITY
+
+    def reset_counters(self) -> None:
+        """Zero the cumulative request counters (used between experiments)."""
+        self.reads = 0.0
+        self.writes = 0.0
+        self.scans = 0.0
+
+
+@dataclass
+class SimulatedNode:
+    """One RegionServer/DataNode pair in the simulator."""
+
+    name: str
+    hardware: HardwareSpec
+    config: RegionServerConfig
+    state: str = STATE_ONLINE
+    state_until: float = 0.0
+    profile_name: str = "default"
+    pending_compaction_bytes: float = 0.0
+    cpu_utilization: float = 0.0
+    io_wait: float = 0.0
+    memory_utilization: float = 0.0
+    served_ops: float = 0.0
+
+    @property
+    def online(self) -> bool:
+        """Whether the node currently serves requests."""
+        return self.state == STATE_ONLINE
+
+
+class ClusterSimulator:
+    """Analytical simulation of an HBase cluster under closed-loop load."""
+
+    def __init__(
+        self,
+        hardware: HardwareSpec | None = None,
+        default_config: RegionServerConfig | None = None,
+        boot_seconds: float = DEFAULT_BOOT_SECONDS,
+        restart_seconds: float = DEFAULT_RESTART_SECONDS,
+        tick_seconds: float = 5.0,
+    ) -> None:
+        self.hardware = hardware or HardwareSpec()
+        self.default_config = (default_config or DEFAULT_HOMOGENEOUS).validate()
+        self.boot_seconds = boot_seconds
+        self.restart_seconds = restart_seconds
+        self.clock = SimulationClock(tick_seconds=tick_seconds)
+        self.metrics = MetricsRegistry()
+        self.nodes: dict[str, SimulatedNode] = {}
+        self.regions: dict[str, SimulatedRegion] = {}
+        self.bindings: dict[str, WorkloadBinding] = {}
+        self._node_counter = itertools.count(1)
+        self._model_cache: dict[HardwareSpec, PerformanceModel] = {}
+        self._binding_throughput: dict[str, float] = {}
+        self.total_ops = 0.0
+
+    # ------------------------------------------------------------------ #
+    # topology management
+    # ------------------------------------------------------------------ #
+    def add_node(
+        self,
+        name: str | None = None,
+        config: RegionServerConfig | None = None,
+        hardware: HardwareSpec | None = None,
+        profile_name: str = "default",
+        online: bool = True,
+    ) -> str:
+        """Add a node; ``online=False`` makes it boot asynchronously."""
+        if name is None:
+            name = f"rs-{next(self._node_counter)}"
+        if name in self.nodes:
+            raise SimulationError(f"node {name!r} already exists")
+        node = SimulatedNode(
+            name=name,
+            hardware=hardware or self.hardware,
+            config=(config or self.default_config).validate(),
+            profile_name=profile_name,
+        )
+        if not online:
+            node.state = STATE_BOOTING
+            node.state_until = self.clock.now + self.boot_seconds
+        self.nodes[name] = node
+        return name
+
+    def remove_node(self, name: str, reassign: bool = True) -> None:
+        """Remove a node, reassigning its regions to the least-loaded nodes."""
+        node = self._node(name)
+        hosted = [r for r in self.regions.values() if r.node == name]
+        del self.nodes[node.name]
+        self.metrics.drop_entity(name)
+        if not reassign:
+            for region in hosted:
+                region.node = None
+            return
+        for region in hosted:
+            target = self._least_loaded_online_node(exclude={name})
+            region.node = target
+        # Blocks stored on the removed node are re-replicated elsewhere over
+        # time; approximate by dropping it from every region's block homes.
+        for region in self.regions.values():
+            region.block_homes.discard(name)
+
+    def add_region(
+        self,
+        region_id: str,
+        workload: str,
+        size_bytes: float,
+        node: str | None = None,
+        record_size: int = 1024,
+        scan_length: int = 50,
+        hot_data_fraction: float = 0.40,
+        hot_request_fraction: float = 0.50,
+    ) -> SimulatedRegion:
+        """Create a region; its blocks are initially local to its node."""
+        if region_id in self.regions:
+            raise SimulationError(f"region {region_id!r} already exists")
+        region = SimulatedRegion(
+            region_id=region_id,
+            workload=workload,
+            size_bytes=size_bytes,
+            record_size=record_size,
+            scan_length=scan_length,
+            hot_data_fraction=hot_data_fraction,
+            hot_request_fraction=hot_request_fraction,
+            node=node,
+        )
+        if node is not None:
+            self._node(node)
+            region.block_homes.add(node)
+        self.regions[region_id] = region
+        return region
+
+    def move_region(self, region_id: str, node_name: str) -> None:
+        """Reassign a region to another node (cheap metadata operation)."""
+        region = self._region(region_id)
+        node = self._node(node_name)
+        region.node = node.name
+
+    def reconfigure_node(
+        self,
+        name: str,
+        config: RegionServerConfig,
+        profile_name: str | None = None,
+        drain: bool = True,
+    ) -> list[str]:
+        """Restart a node with a new configuration.
+
+        When ``drain`` is true (the MeT actuator behaviour, Section 5), the
+        node's regions are first redistributed across the remaining online
+        nodes so data stays available during the restart.  Returns the ids of
+        the drained regions so the caller can move them back afterwards.
+        """
+        node = self._node(name)
+        drained: list[str] = []
+        if drain:
+            for region in self.regions.values():
+                if region.node == name:
+                    target = self._least_loaded_online_node(exclude={name})
+                    if target is not None:
+                        region.node = target
+                    drained.append(region.region_id)
+        node.config = config.validate()
+        if profile_name is not None:
+            node.profile_name = profile_name
+        node.state = STATE_RESTARTING
+        node.state_until = self.clock.now + self.restart_seconds
+        return drained
+
+    def major_compact(self, name: str) -> float:
+        """Schedule a major compaction of the node's non-local regions.
+
+        Returns the number of bytes that will be rewritten.  While the
+        compaction runs it consumes part of the node's disk bandwidth; when
+        it completes, the compacted regions become fully local to the node.
+        """
+        node = self._node(name)
+        bytes_to_rewrite = sum(
+            region.size_bytes
+            for region in self.regions.values()
+            if region.node == name and region.locality < 1.0
+        )
+        node.pending_compaction_bytes += bytes_to_rewrite
+        return bytes_to_rewrite
+
+    # ------------------------------------------------------------------ #
+    # workload management
+    # ------------------------------------------------------------------ #
+    def attach_workload(self, binding: WorkloadBinding) -> None:
+        """Attach a closed-loop client population."""
+        for region_id in binding.regions():
+            self._region(region_id)
+        self.bindings[binding.name] = binding
+
+    def detach_workload(self, name: str) -> None:
+        """Remove a client population (e.g. a tenant leaving)."""
+        self.bindings.pop(name, None)
+
+    def set_workload_active(self, name: str, active: bool) -> None:
+        """Activate or deactivate a tenant without removing it."""
+        if name not in self.bindings:
+            raise SimulationError(f"unknown workload {name!r}")
+        self.bindings[name].active = active
+
+    # ------------------------------------------------------------------ #
+    # queries used by controllers and experiments
+    # ------------------------------------------------------------------ #
+    def online_nodes(self) -> list[SimulatedNode]:
+        """Nodes currently serving requests."""
+        return [node for node in self.nodes.values() if node.online]
+
+    def regions_on(self, node_name: str) -> list[SimulatedRegion]:
+        """Regions currently assigned to ``node_name``."""
+        return [r for r in self.regions.values() if r.node == node_name]
+
+    def node_locality_index(self, node_name: str) -> float:
+        """Size-weighted locality of the regions hosted by a node."""
+        hosted = self.regions_on(node_name)
+        total = sum(r.size_bytes for r in hosted)
+        if total <= 0:
+            return 1.0
+        return sum(r.locality * r.size_bytes for r in hosted) / total
+
+    def assignment(self) -> dict[str, str | None]:
+        """Mapping region id -> hosting node name."""
+        return {rid: region.node for rid, region in self.regions.items()}
+
+    def binding_throughput(self, name: str) -> float:
+        """Most recent achieved throughput of a tenant (ops/s)."""
+        return self._binding_throughput.get(name, 0.0)
+
+    def cluster_throughput(self) -> float:
+        """Most recent total achieved throughput (ops/s)."""
+        return sum(self._binding_throughput.values())
+
+    # ------------------------------------------------------------------ #
+    # simulation loop
+    # ------------------------------------------------------------------ #
+    def run(self, seconds: float) -> None:
+        """Advance the simulation by ``seconds`` in whole ticks."""
+        remaining = seconds
+        while remaining > 1e-9:
+            step = min(self.clock.tick_seconds, remaining)
+            self.tick(step)
+            remaining -= step
+
+    def tick(self, seconds: float | None = None) -> None:
+        """Advance the simulation by one tick."""
+        dt = seconds if seconds is not None else self.clock.tick_seconds
+        self._advance_node_states()
+        compaction_bg = self._progress_compactions(dt)
+        throughputs, node_results, region_rates = self._solve_fixed_point(compaction_bg)
+        self._apply_tick_results(dt, throughputs, node_results, region_rates)
+        self.clock.advance(dt)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _node(self, name: str) -> SimulatedNode:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise SimulationError(f"unknown node {name!r}") from None
+
+    def _region(self, region_id: str) -> SimulatedRegion:
+        try:
+            return self.regions[region_id]
+        except KeyError:
+            raise SimulationError(f"unknown region {region_id!r}") from None
+
+    def _model_for(self, node: SimulatedNode) -> PerformanceModel:
+        if node.hardware not in self._model_cache:
+            self._model_cache[node.hardware] = PerformanceModel(node.hardware)
+        return self._model_cache[node.hardware]
+
+    def _least_loaded_online_node(self, exclude: set[str]) -> str | None:
+        candidates = [n for n in self.online_nodes() if n.name not in exclude]
+        if not candidates:
+            candidates = [
+                n
+                for n in self.nodes.values()
+                if n.name not in exclude and n.state != STATE_OFFLINE
+            ]
+        if not candidates:
+            return None
+        counts = {
+            node.name: len(self.regions_on(node.name)) for node in candidates
+        }
+        return min(candidates, key=lambda node: counts[node.name]).name
+
+    def _advance_node_states(self) -> None:
+        for node in self.nodes.values():
+            if node.state in (STATE_BOOTING, STATE_RESTARTING):
+                if self.clock.now >= node.state_until:
+                    node.state = STATE_ONLINE
+                    node.state_until = 0.0
+
+    def _progress_compactions(self, dt: float) -> dict[str, float]:
+        """Advance compactions; return per-node background disk bytes/s."""
+        background: dict[str, float] = {}
+        for node in self.nodes.values():
+            if node.pending_compaction_bytes <= 0 or not node.online:
+                continue
+            rate = node.hardware.disk_mb_per_second * MB * COMPACTION_DISK_SHARE
+            done = min(node.pending_compaction_bytes, rate * dt)
+            node.pending_compaction_bytes -= done
+            background[node.name] = rate
+            if node.pending_compaction_bytes <= 1e-6:
+                node.pending_compaction_bytes = 0.0
+                for region in self.regions_on(node.name):
+                    region.block_homes = {node.name}
+        return background
+
+    def _region_profiles(
+        self, node: SimulatedNode, offered: dict[str, dict[str, float]]
+    ) -> list[RegionLoadProfile]:
+        profiles: list[RegionLoadProfile] = []
+        for region in self.regions_on(node.name):
+            rates = offered.get(region.region_id, {})
+            profiles.append(
+                RegionLoadProfile(
+                    region_id=region.region_id,
+                    size_bytes=region.size_bytes,
+                    locality=region.locality,
+                    record_size=region.record_size,
+                    scan_length=region.scan_length,
+                    hot_data_fraction=region.hot_data_fraction,
+                    hot_request_fraction=region.hot_request_fraction,
+                    read_rate=rates.get("read", 0.0),
+                    update_rate=rates.get("update", 0.0),
+                    insert_rate=rates.get("insert", 0.0),
+                    scan_rate=rates.get("scan", 0.0),
+                    rmw_rate=rates.get("read_modify_write", 0.0),
+                )
+            )
+        return profiles
+
+    def _offered_rates(self, throughputs: dict[str, float]) -> dict[str, dict[str, float]]:
+        """Per-region offered rates implied by per-binding throughputs."""
+        offered: dict[str, dict[str, float]] = {}
+        for name, binding in self.bindings.items():
+            for load in binding.offered_loads(throughputs.get(name, 0.0)):
+                bucket = offered.setdefault(load.region_id, {})
+                for op, rate in load.rates.items():
+                    bucket[op] = bucket.get(op, 0.0) + rate
+        return offered
+
+    def _evaluate_nodes(
+        self,
+        offered: dict[str, dict[str, float]],
+        compaction_bg: dict[str, float],
+    ) -> tuple[dict[str, object], dict[str, dict[str, float]], dict[str, float]]:
+        """Evaluate online nodes; returns results, region latencies and scales."""
+        node_results: dict[str, object] = {}
+        region_latencies: dict[str, dict[str, float]] = {}
+        region_scale: dict[str, float] = {}
+        for node in self.nodes.values():
+            if not node.online:
+                continue
+            profiles = self._region_profiles(node, offered)
+            result = self._model_for(node).evaluate_node(
+                node.config, profiles, compaction_bg.get(node.name, 0.0)
+            )
+            node_results[node.name] = result
+            scale = 1.0 if result.utilization <= 1.0 else 1.0 / result.utilization
+            for profile in profiles:
+                region_latencies[profile.region_id] = result.per_op_latency_ms
+                region_scale[profile.region_id] = scale
+        return node_results, region_latencies, region_scale
+
+    def _solve_fixed_point(
+        self, compaction_bg: dict[str, float], iterations: int = 10
+    ) -> tuple[dict[str, float], dict[str, object], dict[str, dict[str, float]]]:
+        """Solve the closed-loop throughput fixed point for this tick.
+
+        Returns the per-binding *achieved* throughput, the per-node model
+        results and the per-region achieved rates.  Achieved throughput is
+        work-conserving: offered load on a node is clamped to the node's
+        capacity (utilisation 1.0).
+        """
+        throughputs = {
+            name: self._binding_throughput.get(name, binding.threads * 50.0)
+            for name, binding in self.bindings.items()
+        }
+        region_latencies: dict[str, dict[str, float]] = {}
+        for _ in range(iterations):
+            offered = self._offered_rates(throughputs)
+            _, region_latencies, _ = self._evaluate_nodes(offered, compaction_bg)
+            new_throughputs: dict[str, float] = {}
+            for name, binding in self.bindings.items():
+                latency = binding.mean_latency(region_latencies)
+                target = binding.max_throughput(latency)
+                previous = throughputs[name]
+                new_throughputs[name] = 0.5 * previous + 0.5 * target
+            throughputs = new_throughputs
+
+        offered = self._offered_rates(throughputs)
+        node_results, region_latencies, region_scale = self._evaluate_nodes(
+            offered, compaction_bg
+        )
+        achieved: dict[str, float] = {}
+        region_rates: dict[str, dict[str, float]] = {}
+        for name, binding in self.bindings.items():
+            total = 0.0
+            for load in binding.offered_loads(throughputs.get(name, 0.0)):
+                scale = region_scale.get(load.region_id, 0.0)
+                bucket = region_rates.setdefault(load.region_id, {})
+                for op, rate in load.rates.items():
+                    bucket[op] = bucket.get(op, 0.0) + rate * scale
+                total += load.total * scale
+            achieved[name] = total
+        return achieved, node_results, region_rates
+
+    def _apply_tick_results(
+        self,
+        dt: float,
+        throughputs: dict[str, float],
+        node_results: dict[str, object],
+        region_rates: dict[str, dict[str, float]],
+    ) -> None:
+        now = self.clock.now + dt
+        # Reset per-region rates before accumulating this tick's load.
+        for region in self.regions.values():
+            region.read_rate = 0.0
+            region.write_rate = 0.0
+            region.scan_rate = 0.0
+
+        total = 0.0
+        for name in self.bindings:
+            throughput = throughputs.get(name, 0.0)
+            self._binding_throughput[name] = throughput
+            total += throughput
+            self.metrics.record(f"workload:{name}", "throughput", now, throughput)
+
+        for region_id, rates in region_rates.items():
+            region = self._region(region_id)
+            reads = rates.get("read", 0.0) + rates.get("read_modify_write", 0.0)
+            writes = (
+                rates.get("update", 0.0)
+                + rates.get("insert", 0.0)
+                + rates.get("read_modify_write", 0.0)
+            )
+            scans = rates.get("scan", 0.0)
+            region.reads += reads * dt
+            region.writes += writes * dt
+            region.scans += scans * dt
+            region.read_rate += reads
+            region.write_rate += writes
+            region.scan_rate += scans
+            region.size_bytes += rates.get("insert", 0.0) * dt * region.record_size
+
+        self.total_ops += total * dt
+        self.metrics.record("cluster", "throughput", now, total)
+        self.metrics.record("cluster", "operations", now, total * dt)
+        self.metrics.record("cluster", "nodes", now, float(len(self.online_nodes())))
+
+        for node in self.nodes.values():
+            result = node_results.get(node.name)
+            if result is None:
+                node.cpu_utilization = 0.0
+                node.io_wait = 0.0
+                node.memory_utilization = 0.0
+                node.served_ops = 0.0
+            else:
+                node.cpu_utilization = min(1.0, result.cpu_utilization)
+                node.io_wait = min(1.0, result.io_wait)
+                node.memory_utilization = min(1.0, result.memory_utilization)
+                node.served_ops = sum(
+                    region.read_rate + region.write_rate + region.scan_rate
+                    for region in self.regions_on(node.name)
+                )
+            self.metrics.record(node.name, "cpu", now, node.cpu_utilization)
+            self.metrics.record(node.name, "io_wait", now, node.io_wait)
+            self.metrics.record(node.name, "memory", now, node.memory_utilization)
+            self.metrics.record(node.name, "requests", now, node.served_ops)
+            self.metrics.record(
+                node.name, "locality", now, self.node_locality_index(node.name)
+            )

@@ -1,0 +1,123 @@
+"""Metric time series used by the simulator, the monitor and the reports.
+
+A :class:`MetricSeries` is an append-only sequence of ``(timestamp, value)``
+samples with simple aggregation helpers.  A :class:`MetricsRegistry` groups
+series by ``(entity, metric)`` so the monitoring layer can pull e.g. the CPU
+utilisation history of a node or the cumulative operation count of the
+cluster.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+@dataclass
+class MetricSeries:
+    """Append-only (timestamp, value) series."""
+
+    name: str
+    timestamps: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def record(self, timestamp: float, value: float) -> None:
+        """Append a sample; timestamps must be non-decreasing."""
+        if self.timestamps and timestamp < self.timestamps[-1]:
+            raise ValueError(
+                f"samples must be appended in time order: {timestamp} < {self.timestamps[-1]}"
+            )
+        self.timestamps.append(timestamp)
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[tuple[float, float]]:
+        return iter(zip(self.timestamps, self.values))
+
+    def latest(self, default: float = 0.0) -> float:
+        """Most recent value, or ``default`` if the series is empty."""
+        return self.values[-1] if self.values else default
+
+    def window(self, start: float, end: float) -> list[tuple[float, float]]:
+        """Samples with ``start <= timestamp <= end``."""
+        lo = bisect_left(self.timestamps, start)
+        hi = bisect_right(self.timestamps, end)
+        return list(zip(self.timestamps[lo:hi], self.values[lo:hi]))
+
+    def last_n(self, n: int) -> list[float]:
+        """The last ``n`` values (fewer if the series is shorter)."""
+        if n <= 0:
+            return []
+        return self.values[-n:]
+
+    def mean(self, last_n: int | None = None) -> float:
+        """Arithmetic mean of the whole series or of its last ``last_n`` values."""
+        values = self.values if last_n is None else self.last_n(last_n)
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+    def maximum(self, last_n: int | None = None) -> float:
+        """Maximum of the whole series or of its last ``last_n`` values."""
+        values = self.values if last_n is None else self.last_n(last_n)
+        if not values:
+            return 0.0
+        return max(values)
+
+    def total(self) -> float:
+        """Sum of all recorded values."""
+        return sum(self.values)
+
+    def cumulative(self) -> list[float]:
+        """Running sum of the values, aligned with :attr:`timestamps`."""
+        out: list[float] = []
+        acc = 0.0
+        for value in self.values:
+            acc += value
+            out.append(acc)
+        return out
+
+
+class MetricsRegistry:
+    """Groups metric series by entity and metric name."""
+
+    def __init__(self) -> None:
+        self._series: dict[tuple[str, str], MetricSeries] = {}
+
+    def series(self, entity: str, metric: str) -> MetricSeries:
+        """Return (creating if needed) the series for ``entity``/``metric``."""
+        key = (entity, metric)
+        if key not in self._series:
+            self._series[key] = MetricSeries(name=f"{entity}.{metric}")
+        return self._series[key]
+
+    def record(self, entity: str, metric: str, timestamp: float, value: float) -> None:
+        """Record one sample."""
+        self.series(entity, metric).record(timestamp, value)
+
+    def entities(self) -> list[str]:
+        """Distinct entity names with at least one series."""
+        return sorted({entity for entity, _ in self._series})
+
+    def metrics_for(self, entity: str) -> list[str]:
+        """Metric names recorded for ``entity``."""
+        return sorted(metric for ent, metric in self._series if ent == entity)
+
+    def latest(self, entity: str, metric: str, default: float = 0.0) -> float:
+        """Latest value for ``entity``/``metric`` (``default`` when absent)."""
+        key = (entity, metric)
+        if key not in self._series:
+            return default
+        return self._series[key].latest(default)
+
+    def drop_entity(self, entity: str) -> None:
+        """Remove all series belonging to ``entity`` (e.g. a removed node)."""
+        for key in [key for key in self._series if key[0] == entity]:
+            del self._series[key]
+
+    def items(self) -> Iterable[tuple[tuple[str, str], MetricSeries]]:
+        """All ``((entity, metric), series)`` pairs."""
+        return self._series.items()

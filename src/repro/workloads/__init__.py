@@ -1,0 +1,6 @@
+"""Workload generators: YCSB core workloads A-F and a TPC-C (PyTPCC) port."""
+
+from repro.workloads.ycsb.workloads import CORE_WORKLOADS, YCSBWorkload
+from repro.workloads.tpcc.driver import TPCCDriver
+
+__all__ = ["CORE_WORKLOADS", "YCSBWorkload", "TPCCDriver"]

@@ -1,0 +1,31 @@
+"""TPC-C workload (PyTPCC-style HBase port).
+
+The paper uses PyTPCC, an HBase implementation of the TPC-C OLTP benchmark,
+to show MeT copes with a substantially different, write-intensive workload
+without any tuning (Section 6.3): 9 tables, 5 transaction types, a default
+mix of roughly 8% read-only and 92% update transactions, results measured in
+new-order transactions per minute (tpmC).
+
+Two execution modes are provided:
+
+* a functional driver that runs real transactions against the mini-HBase
+  substrate (examples and integration tests);
+* an analytical binding that maps the transaction mix onto per-operation
+  rates for the cluster simulator (the Table 2 experiment).
+"""
+
+from repro.workloads.tpcc.driver import TPCCDriver, TPCCResult, simulator_binding
+from repro.workloads.tpcc.loader import TPCCLoader
+from repro.workloads.tpcc.schema import TPCC_TABLES, TPCCConfig
+from repro.workloads.tpcc.transactions import TRANSACTION_MIX, TransactionProfile
+
+__all__ = [
+    "TPCCDriver",
+    "TPCCResult",
+    "TPCCLoader",
+    "TPCCConfig",
+    "TPCC_TABLES",
+    "TRANSACTION_MIX",
+    "TransactionProfile",
+    "simulator_binding",
+]

@@ -1,0 +1,133 @@
+"""The TPC-C driver: run transactions and report tpmC.
+
+Like PyTPCC, the driver picks transactions according to the standard mix and
+reports throughput in new-order transactions per minute (tpmC).  The
+``simulator_binding`` helper maps the same transaction mix onto the
+analytical simulator: one closed-loop client population whose operation mix
+is the aggregate key-value footprint of the transactions, addressed to the
+warehouse-aligned partitions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.hbase.client import HBaseClient
+from repro.simulation.cluster import ClusterSimulator
+from repro.simulation.workload import WorkloadBinding
+from repro.workloads.tpcc.schema import TPCCConfig
+from repro.workloads.tpcc.transactions import (
+    TRANSACTION_MIX,
+    TransactionExecutor,
+    aggregate_operation_mix,
+    operations_per_transaction,
+)
+
+#: Average row size used by the analytical binding (order lines dominate).
+TPCC_RECORD_SIZE = 256
+#: Rows touched by the scan of an Order-Status / Stock-Level transaction.
+TPCC_SCAN_LENGTH = 20
+#: TPC-C concentrates reads on a small working set of recently written rows
+#: (open orders, popular stock); these describe that skew to the cost model.
+TPCC_HOT_DATA_FRACTION = 0.05
+TPCC_HOT_REQUEST_FRACTION = 0.95
+
+
+@dataclass
+class TPCCResult:
+    """Outcome of a functional TPC-C run."""
+
+    transactions: int = 0
+    per_type: dict[str, int] = field(default_factory=dict)
+    new_orders: int = 0
+    duration_seconds: float = 0.0
+
+    @property
+    def tpmc(self) -> float:
+        """New-order transactions per minute."""
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self.new_orders * 60.0 / self.duration_seconds
+
+
+class TPCCDriver:
+    """Runs TPC-C transactions against the functional mini-HBase."""
+
+    def __init__(self, client: HBaseClient, config: TPCCConfig, seed: int = 0) -> None:
+        self.client = client
+        self.config = config
+        self.executor = TransactionExecutor(client, config, seed=seed)
+        self._rng = random.Random(seed)
+        self.result = TPCCResult()
+
+    def run(self, transactions: int, assumed_tx_seconds: float = 0.02) -> TPCCResult:
+        """Execute ``transactions`` transactions following the standard mix.
+
+        ``assumed_tx_seconds`` converts the (instantaneous, in-memory) run
+        into a nominal duration so tpmC can be reported.
+        """
+        names = list(TRANSACTION_MIX)
+        weights = [TRANSACTION_MIX[name].weight for name in names]
+        for _ in range(transactions):
+            name = self._rng.choices(names, weights=weights)[0]
+            self.executor.execute(name)
+            self.result.transactions += 1
+            self.result.per_type[name] = self.result.per_type.get(name, 0) + 1
+            if name == "new_order":
+                self.result.new_orders += 1
+        self.result.duration_seconds += transactions * assumed_tx_seconds
+        return self.result
+
+
+# --------------------------------------------------------------------------- #
+# analytical simulator binding
+# --------------------------------------------------------------------------- #
+def tpmc_from_ops_rate(ops_per_second: float) -> float:
+    """Convert a key-value operation rate into tpmC.
+
+    tpmC counts new-order transactions per minute; the transaction mix and
+    the per-transaction operation footprints fix the conversion factor.
+    """
+    tx_per_second = ops_per_second / operations_per_transaction()
+    new_order_share = TRANSACTION_MIX["new_order"].weight
+    return tx_per_second * new_order_share * 60.0
+
+
+def simulator_binding(config: TPCCConfig | None = None) -> WorkloadBinding:
+    """Closed-loop client binding for the analytical TPC-C experiment."""
+    config = config or TPCCConfig()
+    partition_ids = config.partition_ids()
+    weight = 1.0 / len(partition_ids)
+    return WorkloadBinding(
+        name="tpcc",
+        threads=config.clients,
+        op_mix=aggregate_operation_mix(),
+        region_weights={partition_id: weight for partition_id in partition_ids},
+        record_size=TPCC_RECORD_SIZE,
+        scan_length=TPCC_SCAN_LENGTH,
+    )
+
+
+def build_tpcc_scenario(
+    simulator: ClusterSimulator,
+    config: TPCCConfig | None = None,
+    initial_node: str | None = None,
+) -> tuple[TPCCConfig, WorkloadBinding]:
+    """Create the TPC-C partitions and client binding inside ``simulator``."""
+    config = config or TPCCConfig()
+    per_partition_bytes = config.database_bytes() / config.partitions
+    for partition_id in config.partition_ids():
+        simulator.add_region(
+            region_id=partition_id,
+            workload="tpcc",
+            size_bytes=per_partition_bytes,
+            node=initial_node,
+            record_size=TPCC_RECORD_SIZE,
+            scan_length=TPCC_SCAN_LENGTH,
+            hot_data_fraction=TPCC_HOT_DATA_FRACTION,
+            hot_request_fraction=TPCC_HOT_REQUEST_FRACTION,
+        )
+    binding = simulator_binding(config)
+    simulator.attach_workload(binding)
+    return config, binding

@@ -1,0 +1,129 @@
+"""TPC-C load phase: populate warehouses into the functional mini-HBase."""
+
+from __future__ import annotations
+
+import random
+
+from repro.hbase.client import HBaseClient
+from repro.workloads.tpcc.schema import (
+    TPCC_TABLES,
+    TPCCConfig,
+    customer_key,
+    district_key,
+    item_key,
+    order_key,
+    order_line_key,
+    stock_key,
+    warehouse_key,
+)
+
+#: Single column family used by the PyTPCC HBase driver.
+FAMILY = "cf"
+
+
+class TPCCLoader:
+    """Creates the TPC-C tables and populates them warehouse by warehouse."""
+
+    def __init__(self, client: HBaseClient, config: TPCCConfig, seed: int = 0) -> None:
+        self.client = client
+        self.config = config
+        self._rng = random.Random(seed)
+        self.rows_loaded = 0
+
+    # ------------------------------------------------------------------ #
+    # schema
+    # ------------------------------------------------------------------ #
+    def create_tables(self, master) -> None:
+        """Create the 9 TPC-C tables, pre-split by warehouse range."""
+        from repro.hbase.table import HTableDescriptor
+
+        split_keys = [
+            warehouse_key(w)[:2] + f"{w:05d}"
+            for w in range(
+                self.config.warehouses_per_node + 1,
+                self.config.warehouses + 1,
+                self.config.warehouses_per_node,
+            )
+        ]
+        for table in TPCC_TABLES:
+            descriptor = HTableDescriptor(name=table, column_families=(FAMILY,))
+            master.create_table(descriptor, split_keys=split_keys if table != "item" else None)
+
+    # ------------------------------------------------------------------ #
+    # population
+    # ------------------------------------------------------------------ #
+    def load_items(self) -> int:
+        """Populate the ITEM table (shared across warehouses)."""
+        for i_id in range(1, self.config.items + 1):
+            self.client.put_row(
+                "item",
+                item_key(i_id),
+                {
+                    f"{FAMILY}:name": f"item-{i_id}",
+                    f"{FAMILY}:price": str(round(self._rng.uniform(1.0, 100.0), 2)),
+                    f"{FAMILY}:data": "x" * 32,
+                },
+            )
+            self.rows_loaded += 1
+        return self.config.items
+
+    def load_warehouse(self, w_id: int) -> int:
+        """Populate one warehouse and everything hanging off it."""
+        loaded = 0
+        self.client.put_row(
+            "warehouse",
+            warehouse_key(w_id),
+            {f"{FAMILY}:name": f"wh-{w_id}", f"{FAMILY}:ytd": "300000.00"},
+        )
+        loaded += 1
+        for i_id in range(1, self.config.stock_per_warehouse + 1):
+            self.client.put_row(
+                "stock",
+                stock_key(w_id, i_id),
+                {f"{FAMILY}:quantity": str(self._rng.randint(10, 100)), f"{FAMILY}:ytd": "0"},
+            )
+            loaded += 1
+        for d_id in range(1, self.config.districts_per_warehouse + 1):
+            self.client.put_row(
+                "district",
+                district_key(w_id, d_id),
+                {f"{FAMILY}:next_o_id": "1", f"{FAMILY}:ytd": "30000.00"},
+            )
+            loaded += 1
+            for c_id in range(1, self.config.customers_per_district + 1):
+                self.client.put_row(
+                    "customer",
+                    customer_key(w_id, d_id, c_id),
+                    {
+                        f"{FAMILY}:balance": "-10.00",
+                        f"{FAMILY}:ytd_payment": "10.00",
+                        f"{FAMILY}:last": f"name{c_id % 100}",
+                    },
+                )
+                loaded += 1
+                o_id = c_id
+                self.client.put_row(
+                    "orders",
+                    order_key(w_id, d_id, o_id),
+                    {f"{FAMILY}:c_id": str(c_id), f"{FAMILY}:carrier_id": "0"},
+                )
+                loaded += 1
+                for line in range(1, self._rng.randint(5, 10) + 1):
+                    self.client.put_row(
+                        "orderline",
+                        order_line_key(w_id, d_id, o_id, line),
+                        {
+                            f"{FAMILY}:i_id": str(self._rng.randint(1, self.config.items)),
+                            f"{FAMILY}:amount": "0.00",
+                        },
+                    )
+                    loaded += 1
+        self.rows_loaded += loaded
+        return loaded
+
+    def load(self) -> int:
+        """Populate items and every warehouse; returns total rows loaded."""
+        self.load_items()
+        for w_id in range(1, self.config.warehouses + 1):
+            self.load_warehouse(w_id)
+        return self.rows_loaded

@@ -1,0 +1,153 @@
+"""A YCSB client that executes operations against the functional mini-HBase.
+
+Used by the examples and by integration tests to exercise the real data path
+(put/get/scan through RegionServers, memstores, block cache and HDFS).  The
+large-scale experiments use the analytical simulator instead.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.hbase.client import HBaseClient
+from repro.workloads.ycsb.distributions import HotspotChooser, KeyChooser
+from repro.workloads.ycsb.workloads import YCSBWorkload
+
+
+def format_key(index: int) -> str:
+    """YCSB-style zero-padded row key (keeps lexicographic == numeric order)."""
+    return f"user{index:012d}"
+
+
+@dataclass
+class YCSBResult:
+    """Operation counts of one client run."""
+
+    operations: int = 0
+    reads: int = 0
+    updates: int = 0
+    inserts: int = 0
+    scans: int = 0
+    read_modify_writes: int = 0
+    read_misses: int = 0
+    per_op_counts: dict[str, int] = field(default_factory=dict)
+
+    def record(self, op: str) -> None:
+        """Count one executed operation."""
+        self.operations += 1
+        self.per_op_counts[op] = self.per_op_counts.get(op, 0) + 1
+
+
+class YCSBClient:
+    """Executes a YCSB workload against an :class:`HBaseClient`."""
+
+    def __init__(
+        self,
+        client: HBaseClient,
+        workload: YCSBWorkload,
+        table: str | None = None,
+        chooser: KeyChooser | None = None,
+        seed: int = 0,
+        field_count: int = 10,
+    ) -> None:
+        self.client = client
+        self.workload = workload
+        self.table = table or workload.table_name
+        self.chooser = chooser or HotspotChooser(
+            workload.record_count, hot_set_fraction=0.4, hot_operation_fraction=0.5, seed=seed
+        )
+        self._rng = random.Random(seed)
+        self.field_count = field_count
+        self.inserted = workload.record_count
+        self.result = YCSBResult()
+
+    # ------------------------------------------------------------------ #
+    # load phase
+    # ------------------------------------------------------------------ #
+    def load(self, record_count: int | None = None) -> int:
+        """Insert the initial records (the YCSB load phase)."""
+        count = record_count if record_count is not None else self.workload.record_count
+        value_size = max(1, self.workload.record_size // self.field_count)
+        for index in range(count):
+            row = format_key(index)
+            values = {
+                f"cf:field{field}": self._random_value(value_size)
+                for field in range(self.field_count)
+            }
+            self.client.put_row(self.table, row, values)
+        self.inserted = count
+        self.chooser.extend(count)
+        return count
+
+    # ------------------------------------------------------------------ #
+    # run phase
+    # ------------------------------------------------------------------ #
+    def run(self, operations: int) -> YCSBResult:
+        """Execute ``operations`` operations following the workload mix."""
+        ops, weights = zip(*self.workload.op_mix.items())
+        for _ in range(operations):
+            op = self._rng.choices(ops, weights=weights)[0]
+            self._execute(op)
+        return self.result
+
+    def _execute(self, op: str) -> None:
+        if op == "read":
+            self._do_read()
+        elif op == "update":
+            self._do_update()
+        elif op == "insert":
+            self._do_insert()
+        elif op == "scan":
+            self._do_scan()
+        elif op == "read_modify_write":
+            self._do_rmw()
+        else:  # pragma: no cover - mix validation prevents this
+            raise ValueError(f"unknown operation {op!r}")
+        self.result.record(op)
+
+    def _do_read(self) -> None:
+        row = format_key(self.chooser.next_index())
+        values = self.client.get(self.table, row)
+        if not values:
+            self.result.read_misses += 1
+        self.result.reads += 1
+
+    def _do_update(self) -> None:
+        row = format_key(self.chooser.next_index())
+        field = self._rng.randrange(self.field_count)
+        value_size = max(1, self.workload.record_size // self.field_count)
+        self.client.put(self.table, row, f"cf:field{field}", self._random_value(value_size))
+        self.result.updates += 1
+
+    def _do_insert(self) -> None:
+        row = format_key(self.inserted)
+        self.inserted += 1
+        self.chooser.extend(self.inserted)
+        value_size = max(1, self.workload.record_size // self.field_count)
+        values = {
+            f"cf:field{field}": self._random_value(value_size)
+            for field in range(self.field_count)
+        }
+        self.client.put_row(self.table, row, values)
+        self.result.inserts += 1
+
+    def _do_scan(self) -> None:
+        start = format_key(self.chooser.next_index())
+        self.client.scan(self.table, start_row=start, limit=self.workload.scan_length)
+        self.result.scans += 1
+
+    def _do_rmw(self) -> None:
+        row = format_key(self.chooser.next_index())
+        field = self._rng.randrange(self.field_count)
+        value_size = max(1, self.workload.record_size // self.field_count)
+        new_value = self._random_value(value_size)
+        self.client.read_modify_write(
+            self.table, row, f"cf:field{field}", lambda _current: new_value
+        )
+        self.result.read_modify_writes += 1
+
+    def _random_value(self, size: int) -> bytes:
+        return bytes(self._rng.getrandbits(8) for _ in range(min(size, 32))) * max(
+            1, size // 32
+        )

@@ -1,0 +1,156 @@
+"""Key choosers: the request distributions YCSB supports.
+
+The paper draws keys from YCSB's *hotspot* distribution with 50% of the
+requests accessing a subset of keys covering 40% of the key space
+(Section 3.1); the other distributions are provided for completeness and for
+the property-based tests.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+
+
+class KeyChooser(ABC):
+    """Chooses record indices in ``[0, record_count)``."""
+
+    def __init__(self, record_count: int, seed: int | None = None) -> None:
+        if record_count <= 0:
+            raise ValueError(f"record count must be positive, got {record_count!r}")
+        self.record_count = record_count
+        self._rng = random.Random(seed)
+
+    @abstractmethod
+    def next_index(self) -> int:
+        """Return the next record index."""
+
+    def extend(self, new_record_count: int) -> None:
+        """Grow the key space (after inserts)."""
+        if new_record_count > self.record_count:
+            self.record_count = new_record_count
+
+
+class UniformChooser(KeyChooser):
+    """Every record is equally likely."""
+
+    def next_index(self) -> int:
+        return self._rng.randrange(self.record_count)
+
+
+class HotspotChooser(KeyChooser):
+    """A fraction of requests targets a "hot" prefix of the key space.
+
+    With ``hot_operation_fraction=0.5`` and ``hot_set_fraction=0.4``, 50% of
+    the requests go to the first 40% of the keys -- the paper's setting.
+    """
+
+    def __init__(
+        self,
+        record_count: int,
+        hot_set_fraction: float = 0.4,
+        hot_operation_fraction: float = 0.5,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(record_count, seed)
+        if not 0.0 < hot_set_fraction <= 1.0:
+            raise ValueError("hot set fraction must be in (0, 1]")
+        if not 0.0 <= hot_operation_fraction <= 1.0:
+            raise ValueError("hot operation fraction must be in [0, 1]")
+        self.hot_set_fraction = hot_set_fraction
+        self.hot_operation_fraction = hot_operation_fraction
+
+    @property
+    def hot_set_size(self) -> int:
+        """Number of keys in the hot set (at least 1)."""
+        return max(1, int(self.record_count * self.hot_set_fraction))
+
+    def next_index(self) -> int:
+        if self._rng.random() < self.hot_operation_fraction:
+            return self._rng.randrange(self.hot_set_size)
+        cold = self.record_count - self.hot_set_size
+        if cold <= 0:
+            return self._rng.randrange(self.record_count)
+        return self.hot_set_size + self._rng.randrange(cold)
+
+
+class ZipfianChooser(KeyChooser):
+    """Zipfian-distributed access (YCSB's default for workloads A-C, F)."""
+
+    def __init__(
+        self,
+        record_count: int,
+        theta: float = 0.99,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(record_count, seed)
+        if not 0.0 < theta < 1.0:
+            raise ValueError("theta must be in (0, 1)")
+        self.theta = theta
+        self._recompute()
+
+    def _recompute(self) -> None:
+        n = self.record_count
+        self._zetan = sum(1.0 / (i ** self.theta) for i in range(1, n + 1))
+        self._alpha = 1.0 / (1.0 - self.theta)
+        zeta2 = sum(1.0 / (i ** self.theta) for i in range(1, min(n, 2) + 1))
+        self._eta = (1 - (2.0 / n) ** (1 - self.theta)) / (1 - zeta2 / self._zetan)
+
+    def extend(self, new_record_count: int) -> None:
+        if new_record_count > self.record_count:
+            self.record_count = new_record_count
+            self._recompute()
+
+    def next_index(self) -> int:
+        u = self._rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        index = int(
+            self.record_count * (self._eta * u - self._eta + 1.0) ** self._alpha
+        )
+        return min(index, self.record_count - 1)
+
+
+class LatestChooser(KeyChooser):
+    """Skewed towards the most recently inserted records (workload D style)."""
+
+    def __init__(self, record_count: int, theta: float = 0.99, seed: int | None = None) -> None:
+        super().__init__(record_count, seed)
+        self._zipf = ZipfianChooser(record_count, theta=theta, seed=seed)
+
+    def extend(self, new_record_count: int) -> None:
+        super().extend(new_record_count)
+        self._zipf.extend(new_record_count)
+
+    def next_index(self) -> int:
+        offset = self._zipf.next_index()
+        return max(0, self.record_count - 1 - offset)
+
+
+def partition_request_shares(
+    chooser_factory,
+    record_count: int,
+    partitions: int,
+    samples: int = 20000,
+    seed: int = 7,
+) -> list[float]:
+    """Empirical share of requests landing on each equal-size partition.
+
+    Used to derive per-partition weights from a key distribution, e.g. the
+    34/26/20/20 split the paper reports for 4 partitions under the hotspot
+    distribution.
+    """
+    if partitions <= 0:
+        raise ValueError("partitions must be positive")
+    chooser: KeyChooser = chooser_factory(record_count, seed=seed)
+    counts = [0] * partitions
+    boundary = math.ceil(record_count / partitions)
+    for _ in range(samples):
+        index = chooser.next_index()
+        counts[min(index // boundary, partitions - 1)] += 1
+    total = sum(counts)
+    return [count / total for count in counts]

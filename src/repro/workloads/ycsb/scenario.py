@@ -1,0 +1,111 @@
+"""The multi-tenant YCSB scenario of Sections 3.1/3.2 and 6.
+
+``build_paper_scenario`` materialises the six simultaneously running YCSB
+workloads in the analytical simulator: it creates the data partitions (four
+equally sized partitions per workload, one for Workload D), attaches one
+closed-loop client population per workload (50 threads each, 5 threads and a
+1 500 ops/s cap for Workload D), and exposes the expected per-partition
+request mixes the manual strategies need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.elasticity.strategies import PartitionWorkload
+from repro.simulation.cluster import ClusterSimulator
+from repro.simulation.workload import WorkloadBinding
+from repro.workloads.ycsb.workloads import (
+    CORE_WORKLOADS,
+    WorkloadPartitionSpec,
+    YCSBWorkload,
+    partition_specs,
+)
+
+
+@dataclass
+class MultiTenantScenario:
+    """The partitions and client bindings of a multi-tenant YCSB run."""
+
+    workloads: dict[str, YCSBWorkload] = field(default_factory=dict)
+    partitions: list[WorkloadPartitionSpec] = field(default_factory=list)
+    bindings: list[WorkloadBinding] = field(default_factory=list)
+
+    def partition_ids(self) -> list[str]:
+        """Ids of every partition across all tenants."""
+        return [spec.partition_id for spec in self.partitions]
+
+    def binding_names(self) -> list[str]:
+        """Names of every client binding."""
+        return [binding.name for binding in self.bindings]
+
+    def expected_partition_workloads(
+        self, window_seconds: float = 60.0
+    ) -> list[PartitionWorkload]:
+        """Expected per-partition request mixes, for the manual strategies.
+
+        The manual strategies of Section 3.3 balance partitions using the
+        observed request counts of each workload; here the counts are derived
+        from each workload's :attr:`~repro.workloads.ycsb.workloads.YCSBWorkload.nominal_ops_per_second`
+        estimate over a nominal ``window_seconds`` window.
+        """
+        expected: list[PartitionWorkload] = []
+        for spec in self.partitions:
+            counts = spec.expected_requests(
+                spec.workload.nominal_ops_per_second * window_seconds
+            )
+            expected.append(
+                PartitionWorkload(
+                    partition_id=spec.partition_id,
+                    reads=counts["reads"],
+                    writes=counts["writes"],
+                    scans=counts["scans"],
+                    size_bytes=spec.size_bytes,
+                )
+            )
+        return expected
+
+
+def binding_for(workload: YCSBWorkload) -> WorkloadBinding:
+    """Build the closed-loop client binding for one workload."""
+    specs = partition_specs(workload)
+    return WorkloadBinding(
+        name=f"workload-{workload.name}",
+        threads=workload.threads,
+        op_mix=workload.op_mix,
+        region_weights={spec.partition_id: spec.weight for spec in specs},
+        target_ops_per_second=workload.target_ops_per_second,
+        record_size=workload.record_size,
+        scan_length=workload.scan_length,
+    )
+
+
+def build_paper_scenario(
+    simulator: ClusterSimulator,
+    workloads: dict[str, YCSBWorkload] | None = None,
+    initial_node: str | None = None,
+) -> MultiTenantScenario:
+    """Create the paper's six-tenant scenario inside ``simulator``.
+
+    Partitions are created unassigned (or all on ``initial_node`` when
+    given); the caller applies a placement plan or lets a controller
+    distribute them.
+    """
+    workloads = dict(workloads or CORE_WORKLOADS)
+    scenario = MultiTenantScenario(workloads=workloads)
+    for workload in workloads.values():
+        specs = partition_specs(workload)
+        scenario.partitions.extend(specs)
+        for spec in specs:
+            simulator.add_region(
+                region_id=spec.partition_id,
+                workload=f"workload-{workload.name}",
+                size_bytes=spec.size_bytes,
+                node=initial_node,
+                record_size=workload.record_size,
+                scan_length=workload.scan_length,
+            )
+        binding = binding_for(workload)
+        scenario.bindings.append(binding)
+        simulator.attach_workload(binding)
+    return scenario

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.hbase.cluster import MiniHBaseCluster
+from repro.simulation.cluster import ClusterSimulator
+from repro.workloads.ycsb.scenario import build_paper_scenario
+
+
+@pytest.fixture
+def simulator() -> ClusterSimulator:
+    """A small simulated cluster with three online nodes."""
+    sim = ClusterSimulator()
+    for _ in range(3):
+        sim.add_node()
+    return sim
+
+
+@pytest.fixture
+def paper_simulator() -> ClusterSimulator:
+    """A 5-node simulator with the paper's six-tenant YCSB scenario attached."""
+    sim = ClusterSimulator()
+    nodes = [sim.add_node() for _ in range(5)]
+    scenario = build_paper_scenario(sim)
+    # Spread partitions round-robin and make them local so ticks can run.
+    for index, spec in enumerate(scenario.partitions):
+        node = nodes[index % len(nodes)]
+        region = sim.regions[spec.partition_id]
+        region.node = node
+        region.block_homes = {node}
+    sim.paper_scenario = scenario
+    return sim
+
+
+@pytest.fixture
+def mini_cluster() -> MiniHBaseCluster:
+    """A functional mini-HBase cluster with three RegionServers and a table."""
+    cluster = MiniHBaseCluster(initial_servers=3)
+    cluster.create_table("t", split_keys=["g", "p"])
+    return cluster

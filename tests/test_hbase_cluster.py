@@ -1,0 +1,248 @@
+"""Tests for RegionServers, balancers, the master and the client API."""
+
+import pytest
+
+from repro.hbase.balancer import RandomBalancer, StochasticLoadBalancer
+from repro.hbase.cluster import MiniHBaseCluster
+from repro.hbase.config import RegionServerConfig
+from repro.hbase.errors import NoSuchRegionError, NoSuchRegionServerError, NoSuchTableError
+from repro.hbase.regionserver import BlockCache
+from repro.core.profiles import NODE_PROFILES
+
+
+class TestBlockCache:
+    def test_insert_touch_and_eviction(self):
+        cache = BlockCache(capacity_bytes=100)
+        cache.insert(("f", 0), 60)
+        cache.insert(("f", 1), 60)  # evicts the first block
+        assert ("f", 1) in cache
+        assert ("f", 0) not in cache
+        assert cache.used_bytes <= 100
+
+    def test_touch_marks_recent(self):
+        cache = BlockCache(capacity_bytes=120)
+        cache.insert(("f", 0), 60)
+        cache.insert(("f", 1), 60)
+        assert cache.touch(("f", 0))
+        cache.insert(("f", 2), 60)  # evicts ("f", 1), the least recently used
+        assert ("f", 0) in cache
+        assert ("f", 1) not in cache
+
+    def test_oversized_block_not_cached(self):
+        cache = BlockCache(capacity_bytes=10)
+        cache.insert(("f", 0), 100)
+        assert len(cache) == 0
+
+    def test_evict_file_and_clear(self):
+        cache = BlockCache(capacity_bytes=1000)
+        cache.insert(("a", 0), 10)
+        cache.insert(("b", 0), 10)
+        cache.evict_file("a")
+        assert ("a", 0) not in cache and ("b", 0) in cache
+        cache.clear()
+        assert len(cache) == 0 and cache.used_bytes == 0
+
+    def test_resize_evicts(self):
+        cache = BlockCache(capacity_bytes=100)
+        cache.insert(("a", 0), 50)
+        cache.insert(("b", 0), 50)
+        cache.resize(60)
+        assert cache.used_bytes <= 60
+
+
+class TestBalancers:
+    def test_random_balancer_even_counts(self):
+        balancer = RandomBalancer(seed=0)
+        regions = [f"r{i}" for i in range(10)]
+        servers = ["s1", "s2", "s3"]
+        assignment = balancer.assign(regions, servers)
+        counts = {s: list(assignment.values()).count(s) for s in servers}
+        assert set(assignment) == set(regions)
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_random_balancer_requires_servers(self):
+        with pytest.raises(ValueError):
+            RandomBalancer(seed=0).assign(["r1"], [])
+
+    def test_stochastic_balancer_spreads_load(self):
+        balancer = StochasticLoadBalancer(seed=0)
+        regions = [f"r{i}" for i in range(6)]
+        costs = {"r0": 100.0, "r1": 90.0, "r2": 10.0, "r3": 10.0, "r4": 5.0, "r5": 5.0}
+        assignment = balancer.assign(regions, ["s1", "s2"], costs)
+        # The two most expensive regions must not share a server.
+        assert assignment["r0"] != assignment["r1"]
+
+    def test_balancers_deterministic_with_seed(self):
+        regions = [f"r{i}" for i in range(8)]
+        servers = ["s1", "s2", "s3"]
+        a = RandomBalancer(seed=42).assign(regions, servers)
+        b = RandomBalancer(seed=42).assign(regions, servers)
+        assert a == b
+
+
+class TestMiniHBaseCluster:
+    def test_create_table_pre_split(self, mini_cluster):
+        regions = mini_cluster.master.table_regions("t")
+        assert len(regions) == 3
+        assert [r.start_key for r in regions] == ["", "g", "p"]
+
+    def test_put_get_delete_roundtrip(self, mini_cluster):
+        client = mini_cluster.client()
+        client.put("t", "hello", "cf:v", b"world")
+        assert client.get("t", "hello") == {"cf:v": b"world"}
+        client.delete("t", "hello")
+        assert client.get("t", "hello") == {}
+
+    def test_put_row_and_scan(self, mini_cluster):
+        client = mini_cluster.client()
+        for key in ("a", "h", "q", "z"):
+            client.put_row("t", key, {"cf:v": key})
+        rows = client.scan("t", start_row="a", stop_row="z")
+        assert [row for row, _ in rows] == ["a", "h", "q"]
+        limited = client.scan("t", limit=2)
+        assert len(limited) == 2
+
+    def test_scan_spans_regions_in_order(self, mini_cluster):
+        client = mini_cluster.client()
+        keys = ["b", "f", "h", "k", "r", "w"]
+        for key in keys:
+            client.put("t", key, "cf:v", key)
+        rows = [row for row, _ in client.scan("t", limit=100)]
+        assert rows == sorted(keys)
+
+    def test_read_modify_write(self, mini_cluster):
+        client = mini_cluster.client()
+        client.put("t", "counter", "cf:v", b"1")
+        client.read_modify_write(
+            "t", "counter", "cf:v", lambda v: str(int(v or b"0") + 1)
+        )
+        assert client.get("t", "counter")["cf:v"] == b"2"
+
+    def test_unknown_table_raises(self, mini_cluster):
+        with pytest.raises(NoSuchTableError):
+            mini_cluster.master.table_regions("missing")
+
+    def test_request_counters_exported(self, mini_cluster):
+        client = mini_cluster.client()
+        client.put("t", "a", "cf:v", b"1")
+        client.get("t", "a")
+        client.scan("t", limit=5)
+        counters = mini_cluster.region_counters()
+        assert sum(c["writes"] for c in counters.values()) >= 1
+        assert sum(c["reads"] for c in counters.values()) >= 1
+        assert sum(c["scans"] for c in counters.values()) >= 1
+
+    def test_move_region(self, mini_cluster):
+        region = mini_cluster.master.table_regions("t")[0]
+        target = mini_cluster.regionservers()[-1]
+        mini_cluster.master.move_region(region.name, target.name)
+        assert mini_cluster.master.assignment[region.name] == target.name
+        assert region.name in target.regions
+
+    def test_move_unknown_region_raises(self, mini_cluster):
+        with pytest.raises(NoSuchRegionError):
+            mini_cluster.master.move_region("ghost", mini_cluster.regionservers()[0].name)
+
+    def test_add_and_remove_regionserver(self, mini_cluster):
+        new = mini_cluster.add_regionserver()
+        assert new.name in mini_cluster.master.servers
+        mini_cluster.remove_regionserver(new.name)
+        assert new.name not in mini_cluster.master.servers
+        with pytest.raises(NoSuchRegionServerError):
+            mini_cluster.regionserver(new.name)
+
+    def test_remove_regionserver_keeps_data_available(self, mini_cluster):
+        client = mini_cluster.client()
+        client.put("t", "a", "cf:v", b"1")
+        victim = mini_cluster.master.assignment[
+            mini_cluster.master.table_regions("t")[0].name
+        ]
+        mini_cluster.remove_regionserver(victim)
+        assert client.get("t", "a") == {"cf:v": b"1"}
+
+    def test_restart_with_new_config_preserves_data(self, mini_cluster):
+        client = mini_cluster.client()
+        client.put("t", "a", "cf:v", b"1")
+        server = mini_cluster.regionservers()[0]
+        new_config = NODE_PROFILES["read"].config
+        mini_cluster.restart_regionserver(server.name, config=new_config, profile_name="read")
+        assert server.config == new_config
+        assert server.profile_name == "read"
+        assert client.get("t", "a") == {"cf:v": b"1"}
+
+    def test_flush_and_locality(self, mini_cluster):
+        client = mini_cluster.client()
+        for index in range(50):
+            client.put("t", f"a{index:03d}", "cf:v", b"x" * 100)
+        for server in mini_cluster.regionservers():
+            for region in server.hosted_regions():
+                server.flush_region(region)
+        report = mini_cluster.locality_report()
+        for server in mini_cluster.regionservers():
+            if server.hosted_regions() and any(
+                r.store_files for r in server.hosted_regions()
+            ):
+                assert report[server.name] == 1.0
+
+    def test_major_compact_restores_locality_after_move(self, mini_cluster):
+        client = mini_cluster.client()
+        for index in range(60):
+            client.put("t", f"a{index:03d}", "cf:v", b"x" * 200)
+        source_name = mini_cluster.master.assignment[
+            mini_cluster.master.table_regions("t")[0].name
+        ]
+        source = mini_cluster.regionserver(source_name)
+        for region in source.hosted_regions():
+            source.flush_region(region)
+        region = mini_cluster.master.table_regions("t")[0]
+        target = next(
+            s for s in mini_cluster.regionservers() if s.name != source_name
+        )
+        mini_cluster.master.move_region(region.name, target.name)
+        before = target.locality_index()
+        mini_cluster.major_compact_server(target.name)
+        after = target.locality_index()
+        assert after >= before
+        assert after == 1.0
+
+    def test_memstore_flush_threshold_triggers_automatic_flush(self):
+        config = RegionServerConfig(
+            block_cache_fraction=0.2, memstore_fraction=0.05
+        )
+        cluster = MiniHBaseCluster(initial_servers=1, config=config, heap_bytes=200_000)
+        cluster.create_table("small")
+        client = cluster.client()
+        for index in range(200):
+            client.put("small", f"k{index:04d}", "cf:v", b"x" * 200)
+        server = cluster.regionservers()[0]
+        assert any(region.store_files for region in server.hosted_regions())
+
+    def test_split_region(self):
+        cluster = MiniHBaseCluster(initial_servers=1)
+        cluster.create_table("s")
+        client = cluster.client()
+        for index in range(40):
+            client.put("s", f"k{index:04d}", "cf:v", b"x" * 50)
+        region = cluster.master.table_regions("s")[0]
+        result = cluster.master.split_region(region.name)
+        assert result is not None
+        low, high = result
+        assert low.end_key == high.start_key
+        assert len(cluster.master.table_regions("s")) == 2
+        # Data remains readable after the split.
+        assert client.get("s", "k0001") == {"cf:v": b"x" * 50}
+        assert client.get("s", "k0039") == {"cf:v": b"x" * 50}
+
+    def test_cache_hit_ratio_improves_on_repeat_reads(self, mini_cluster):
+        client = mini_cluster.client()
+        for index in range(30):
+            client.put("t", f"a{index:03d}", "cf:v", b"x" * 100)
+        for server in mini_cluster.regionservers():
+            for region in server.hosted_regions():
+                server.flush_region(region)
+        for _ in range(3):
+            for index in range(30):
+                client.get("t", f"a{index:03d}")
+        stats = [s.cache_stats for s in mini_cluster.regionservers() if s.cache_stats.hits]
+        assert stats
+        assert all(s.hit_ratio > 0.3 for s in stats)

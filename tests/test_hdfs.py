@@ -1,0 +1,131 @@
+"""Tests for the HDFS-like substrate: placement, replication, locality."""
+
+import pytest
+
+from repro.hdfs.block import Block, BlockFile
+from repro.hdfs.datanode import DataNode, DataNodeFullError
+from repro.hdfs.namenode import HDFSError, NameNode
+
+
+class TestBlocks:
+    def test_block_replica_membership(self):
+        block = Block(block_id="b1", size_bytes=10, replicas=["dn1"])
+        assert block.is_replica("dn1")
+        assert not block.is_replica("dn2")
+
+    def test_file_size_and_local_bytes(self):
+        file = BlockFile(
+            path="/f",
+            blocks=[
+                Block("b1", 10, replicas=["dn1"]),
+                Block("b2", 20, replicas=["dn2"]),
+            ],
+        )
+        assert file.size_bytes == 30
+        assert file.local_bytes("dn1") == 10
+
+
+class TestDataNode:
+    def test_store_and_evict(self):
+        node = DataNode(name="dn1", capacity_bytes=100)
+        node.store("b1", 60)
+        assert node.used_bytes == 60
+        node.evict("b1", 60)
+        assert node.used_bytes == 0
+
+    def test_store_idempotent(self):
+        node = DataNode(name="dn1", capacity_bytes=100)
+        node.store("b1", 60)
+        node.store("b1", 60)
+        assert node.used_bytes == 60
+
+    def test_store_rejects_when_full(self):
+        node = DataNode(name="dn1", capacity_bytes=100)
+        node.store("b1", 80)
+        with pytest.raises(DataNodeFullError):
+            node.store("b2", 40)
+
+
+class TestNameNode:
+    def test_create_file_places_replicas(self):
+        namenode = NameNode(replication=2, seed=0)
+        for name in ("dn1", "dn2", "dn3"):
+            namenode.register_datanode(name)
+        file = namenode.create_file("/f", 100, preferred_datanode="dn1")
+        assert namenode.exists("/f")
+        for block in file.blocks:
+            assert len(block.replicas) == 2
+            assert "dn1" in block.replicas
+
+    def test_create_file_requires_datanodes(self):
+        with pytest.raises(HDFSError):
+            NameNode().create_file("/f", 10)
+
+    def test_duplicate_file_rejected(self):
+        namenode = NameNode(seed=0)
+        namenode.register_datanode("dn1")
+        namenode.create_file("/f", 10)
+        with pytest.raises(HDFSError):
+            namenode.create_file("/f", 10)
+
+    def test_large_file_split_into_blocks(self):
+        namenode = NameNode(replication=1, block_size=10, seed=0)
+        namenode.register_datanode("dn1")
+        file = namenode.create_file("/f", 35)
+        assert len(file.blocks) == 4
+        assert file.size_bytes == 35
+
+    def test_delete_file_frees_space(self):
+        namenode = NameNode(replication=1, seed=0)
+        datanode = namenode.register_datanode("dn1")
+        namenode.create_file("/f", 50)
+        used = datanode.used_bytes
+        assert used > 0
+        namenode.delete_file("/f")
+        assert datanode.used_bytes == 0
+        assert not namenode.exists("/f")
+
+    def test_locality_index_full_when_preferred(self):
+        namenode = NameNode(replication=2, seed=0)
+        for name in ("dn1", "dn2", "dn3"):
+            namenode.register_datanode(name)
+        namenode.create_file("/f", 100, preferred_datanode="dn1")
+        assert namenode.locality_index(["/f"], "dn1") == 1.0
+
+    def test_locality_index_partial_for_other_nodes(self):
+        namenode = NameNode(replication=1, seed=1)
+        for name in ("dn1", "dn2"):
+            namenode.register_datanode(name)
+        namenode.create_file("/f", 100, preferred_datanode="dn1")
+        assert namenode.locality_index(["/f"], "dn2") == 0.0
+
+    def test_locality_index_empty_paths_is_one(self):
+        namenode = NameNode(seed=0)
+        namenode.register_datanode("dn1")
+        assert namenode.locality_index([], "dn1") == 1.0
+
+    def test_is_local(self):
+        namenode = NameNode(replication=1, seed=0)
+        namenode.register_datanode("dn1")
+        namenode.create_file("/f", 10, preferred_datanode="dn1")
+        assert namenode.is_local("/f", "dn1")
+
+    def test_missing_file_raises(self):
+        namenode = NameNode(seed=0)
+        with pytest.raises(HDFSError):
+            namenode.get_file("/missing")
+
+    def test_decommission_rereplicates(self):
+        namenode = NameNode(replication=2, seed=0)
+        for name in ("dn1", "dn2", "dn3"):
+            namenode.register_datanode(name)
+        namenode.create_file("/f", 100, preferred_datanode="dn1")
+        namenode.decommission_datanode("dn1")
+        file = namenode.get_file("/f")
+        for block in file.blocks:
+            assert "dn1" not in block.replicas
+            assert len(block.replicas) == 2
+
+    def test_rejects_zero_replication(self):
+        with pytest.raises(ValueError):
+            NameNode(replication=0)

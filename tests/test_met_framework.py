@@ -1,0 +1,284 @@
+"""Integration tests: the full MeT loop, its backends, and the baselines."""
+
+import pytest
+
+from repro.core.backends import HBaseBackend, SimulatorBackend
+from repro.core.decision import DecisionMaker
+from repro.core.framework import MeT
+from repro.core.interfaces import ClusterBackend
+from repro.core.parameters import MeTParameters
+from repro.core.profiles import NODE_PROFILES
+from repro.elasticity.daemon import HBaseBalancerDaemon
+from repro.elasticity.strategies import (
+    PartitionWorkload,
+    manual_heterogeneous,
+    manual_homogeneous,
+    random_homogeneous,
+)
+from repro.elasticity.tiramola import Tiramola, TiramolaPolicy
+from repro.experiments.harness import apply_placement
+from repro.hbase.cluster import MiniHBaseCluster
+from repro.monitoring.collector import ClusterSnapshot, NodeSample, PartitionSample
+from repro.simulation.cluster import ClusterSimulator
+from repro.workloads.ycsb.scenario import build_paper_scenario
+
+
+def make_snapshot(loads, partitions=None, profiles=None):
+    nodes = {
+        name: NodeSample(
+            name=name,
+            cpu=load,
+            io_wait=load * 0.5,
+            memory=0.5,
+            locality=1.0,
+            profile=(profiles or {}).get(name, "default"),
+        )
+        for name, load in loads.items()
+    }
+    return ClusterSnapshot(timestamp=0.0, nodes=nodes, partitions=partitions or {})
+
+
+class TestDecisionMaker:
+    def test_healthy_cluster_yields_no_plan(self):
+        maker = DecisionMaker()
+        snapshot = make_snapshot({"n1": 0.5, "n2": 0.6})
+        assert maker.decide(snapshot) is None
+
+    def test_overloaded_cluster_yields_plan(self):
+        maker = DecisionMaker()
+        partitions = {
+            "p1": PartitionSample("p1", "n1", reads=1000, writes=0, scans=0, size_bytes=1e8),
+            "p2": PartitionSample("p2", "n2", reads=0, writes=1000, scans=0, size_bytes=1e8),
+        }
+        snapshot = make_snapshot({"n1": 0.95, "n2": 0.4}, partitions)
+        plan = maker.decide(snapshot)
+        assert plan is not None
+        assert plan.initial
+        profiles = {target.profile for target in plan.targets}
+        assert profiles <= set(NODE_PROFILES)
+
+    def test_underloaded_cluster_removes_a_node(self):
+        parameters = MeTParameters(min_nodes=1)
+        maker = DecisionMaker(parameters)
+        partitions = {
+            "p1": PartitionSample("p1", "n1", reads=100, writes=0, scans=0, size_bytes=1e8),
+            "p2": PartitionSample("p2", "n2", reads=100, writes=0, scans=0, size_bytes=1e8),
+            "p3": PartitionSample("p3", "n3", reads=100, writes=0, scans=0, size_bytes=1e8),
+        }
+        # First decision consumes the InitialReconfiguration.
+        maker.decide(make_snapshot({"n1": 0.1, "n2": 0.1, "n3": 0.1}, partitions))
+        plan = maker.decide(make_snapshot({"n1": 0.1, "n2": 0.1, "n3": 0.1}, partitions))
+        assert plan is not None
+        assert len(plan.nodes_to_remove) == 1
+
+    def test_max_nodes_clamps_additions(self):
+        parameters = MeTParameters(max_nodes=2)
+        maker = DecisionMaker(parameters)
+        partitions = {
+            "p1": PartitionSample("p1", "n1", reads=1000, writes=0, scans=0, size_bytes=1e8),
+        }
+        maker.decide(make_snapshot({"n1": 0.99, "n2": 0.99}, partitions))
+        plan = maker.decide(make_snapshot({"n1": 0.99, "n2": 0.99}, partitions))
+        assert plan is None or not plan.new_nodes
+
+    def test_distribution_covers_every_partition(self):
+        maker = DecisionMaker()
+        partitions = {
+            f"p{i}": PartitionSample(
+                f"p{i}", "n1", reads=100 * i, writes=50, scans=0, size_bytes=1e8
+            )
+            for i in range(8)
+        }
+        slots = maker.distribution(
+            ClusterSnapshot(timestamp=0.0, nodes={}, partitions=partitions), cluster_size=3
+        )
+        covered = {p for slot in slots for p in slot.partitions}
+        assert covered == set(partitions)
+
+
+class TestSimulatorBackendContract:
+    def test_backend_satisfies_protocol(self, simulator):
+        backend = SimulatorBackend(simulator)
+        assert isinstance(backend, ClusterBackend)
+
+    def test_add_and_remove_node(self, simulator):
+        backend = SimulatorBackend(simulator)
+        name = backend.add_node(NODE_PROFILES["read"].config, "read")
+        assert name in simulator.nodes
+        assert not backend.node_is_online(name)
+        simulator.run(simulator.boot_seconds + 10)
+        assert backend.node_is_online(name)
+        assert backend.node_profile(name) == "read"
+        backend.remove_node(name)
+        assert name not in simulator.nodes
+
+    def test_reconfigure_and_compact(self, simulator):
+        backend = SimulatorBackend(simulator)
+        nodes = backend.online_node_names()
+        simulator.add_region("r1", "w", 1e8, node=nodes[0])
+        backend.move_partition("r1", nodes[1])
+        assert backend.node_locality(nodes[1]) < 0.5
+        backend.major_compact(nodes[1])
+        simulator.run(60.0)
+        assert backend.node_locality(nodes[1]) == 1.0
+        drained = backend.reconfigure_node(nodes[1], NODE_PROFILES["scan"].config, "scan")
+        assert "r1" in drained
+
+
+class TestMeTEndToEnd:
+    def _prepared_simulator(self, seed=1):
+        simulator = ClusterSimulator()
+        nodes = [simulator.add_node() for _ in range(5)]
+        scenario = build_paper_scenario(simulator)
+        plan = random_homogeneous(scenario.expected_partition_workloads(), nodes, seed=seed)
+        apply_placement(simulator, plan)
+        return simulator
+
+    def test_met_reconfigures_and_improves_throughput(self):
+        simulator = self._prepared_simulator()
+        backend = SimulatorBackend(simulator)
+        met = MeT(backend, MeTParameters(min_nodes=5, max_nodes=5, allow_remove=False))
+        simulator.run(120.0)
+        baseline = simulator.cluster_throughput()
+        for _ in range(12 * 18):  # 18 minutes of 5-second ticks
+            simulator.tick()
+            met.step(simulator.clock.now)
+        assert met.status.plans_applied >= 1
+        assert met.actuator.report.nodes_reconfigured >= 1
+        profiles = {node.profile_name for node in simulator.nodes.values()}
+        assert profiles & set(NODE_PROFILES)
+        assert simulator.cluster_throughput() > baseline
+
+    def test_met_respects_cooldown_and_noop_plans(self):
+        simulator = self._prepared_simulator(seed=2)
+        backend = SimulatorBackend(simulator)
+        met = MeT(backend, MeTParameters(min_nodes=5, max_nodes=5, allow_remove=False))
+        for _ in range(12 * 25):
+            simulator.tick()
+            met.step(simulator.clock.now)
+        # After convergence MeT keeps deciding but stops churning the cluster.
+        assert met.status.decisions >= met.status.plans_applied
+
+    def test_disabled_controller_does_nothing(self):
+        simulator = self._prepared_simulator(seed=3)
+        backend = SimulatorBackend(simulator)
+        met = MeT(backend, MeTParameters(), enabled=False)
+        for _ in range(12 * 10):
+            simulator.tick()
+            met.step(simulator.clock.now)
+        assert met.status.plans_applied == 0
+        assert all(node.profile_name == "default" for node in simulator.nodes.values())
+
+
+class TestHBaseBackend:
+    def test_backend_over_functional_cluster(self):
+        cluster = MiniHBaseCluster(initial_servers=2)
+        cluster.create_table("t", split_keys=["m"])
+        client = cluster.client()
+        for index in range(20):
+            client.put("t", f"k{index:02d}", "cf:v", b"x")
+            client.get("t", f"k{index:02d}")
+        backend = HBaseBackend(cluster)
+        assert isinstance(backend, ClusterBackend)
+        assert len(backend.node_names()) == 2
+        stats = backend.partition_stats()
+        assert stats
+        metrics = backend.node_system_metrics(backend.node_names()[0])
+        assert set(metrics) == {"cpu", "io_wait", "memory"}
+        name = backend.add_node(NODE_PROFILES["read"].config, "read")
+        assert backend.node_is_online(name)
+        region_id = next(iter(stats))
+        backend.move_partition(region_id, name)
+        backend.major_compact(name)
+        backend.remove_node(name)
+        assert name not in backend.node_names()
+
+
+class TestTiramola:
+    def _overloaded_backend(self):
+        simulator = ClusterSimulator()
+        nodes = [simulator.add_node() for _ in range(2)]
+        scenario = build_paper_scenario(simulator)
+        plan = manual_homogeneous(scenario.expected_partition_workloads(), nodes)
+        apply_placement(simulator, plan)
+        return simulator, SimulatorBackend(simulator)
+
+    def test_adds_node_under_load(self):
+        simulator, backend = self._overloaded_backend()
+        policy = TiramolaPolicy(decision_samples=2, cooldown_seconds=0.0, min_nodes=2)
+        tiramola = Tiramola(backend, policy)
+        for _ in range(12 * 6):
+            simulator.tick()
+            tiramola.step(simulator.clock.now)
+        assert len(simulator.nodes) > 2
+        assert tiramola.log.events
+
+    def test_removes_only_when_all_nodes_idle(self):
+        simulator = ClusterSimulator()
+        for _ in range(3):
+            simulator.add_node()
+        backend = SimulatorBackend(simulator)
+        policy = TiramolaPolicy(decision_samples=2, cooldown_seconds=0.0, min_nodes=1)
+        tiramola = Tiramola(backend, policy)
+        for _ in range(12 * 5):
+            simulator.tick()
+            tiramola.step(simulator.clock.now)
+        # An idle cluster shrinks (every node below the low threshold).
+        assert len(simulator.nodes) < 3
+
+
+class TestStrategies:
+    def _expected(self):
+        simulator = ClusterSimulator()
+        for _ in range(5):
+            simulator.add_node()
+        scenario = build_paper_scenario(simulator)
+        return scenario.expected_partition_workloads(), list(simulator.nodes)
+
+    def test_plans_cover_all_partitions(self):
+        expected, nodes = self._expected()
+        ids = [p.partition_id for p in expected]
+        for plan in (
+            random_homogeneous(expected, nodes, seed=0),
+            manual_homogeneous(expected, nodes),
+            manual_heterogeneous(expected, nodes),
+        ):
+            plan.validate(ids, nodes)
+            assert set(plan.node_configs) == set(nodes)
+
+    def test_heterogeneous_plan_uses_table1_profiles(self):
+        expected, nodes = self._expected()
+        plan = manual_heterogeneous(expected, nodes)
+        assert set(plan.node_profiles.values()) <= set(NODE_PROFILES) | {"default"}
+        assert "scan" in plan.node_profiles.values()
+        assert "write" in plan.node_profiles.values()
+
+    def test_homogeneous_plan_disperses_workload_partitions(self):
+        expected, nodes = self._expected()
+        plan = manual_homogeneous(expected, nodes)
+        c_nodes = {plan.assignment[f"C:part-{i}"] for i in range(4)}
+        assert len(c_nodes) >= 3
+
+    def test_partition_workload_classification(self):
+        read_heavy = PartitionWorkload("p", reads=90, writes=10)
+        assert read_heavy.classified().pattern.value == "read"
+        assert read_heavy.total_requests == 100
+
+    def test_random_plans_differ_across_seeds(self):
+        expected, nodes = self._expected()
+        a = random_homogeneous(expected, nodes, seed=0).assignment
+        b = random_homogeneous(expected, nodes, seed=1).assignment
+        assert a != b
+
+
+class TestBalancerDaemon:
+    def test_daemon_evens_region_counts(self, simulator):
+        nodes = list(simulator.nodes)
+        for index in range(6):
+            simulator.add_region(f"r{index}", "w", 1e8, node=nodes[0])
+        backend = SimulatorBackend(simulator)
+        daemon = HBaseBalancerDaemon(backend, period_seconds=0.0, seed=0)
+        moves = daemon.balance()
+        assert moves > 0
+        counts = [len(simulator.regions_on(node)) for node in nodes]
+        assert max(counts) - min(counts) <= 1

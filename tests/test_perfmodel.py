@@ -1,0 +1,195 @@
+"""Tests for the per-operation cost model: the trade-offs MeT exploits."""
+
+import pytest
+
+from repro.core.profiles import NODE_PROFILES
+from repro.hbase.config import DEFAULT_HOMOGENEOUS, RegionServerConfig
+from repro.simulation.hardware import HardwareSpec
+from repro.simulation.perfmodel import (
+    PerformanceModel,
+    RegionLoadProfile,
+    ServiceDemand,
+)
+
+
+def region(**overrides) -> RegionLoadProfile:
+    kwargs = dict(region_id="r", size_bytes=250e6, read_rate=1000.0)
+    kwargs.update(overrides)
+    return RegionLoadProfile(**kwargs)
+
+
+@pytest.fixture
+def model() -> PerformanceModel:
+    return PerformanceModel(HardwareSpec())
+
+
+class TestServiceDemand:
+    def test_add_accumulates(self):
+        a = ServiceDemand(cpu_millis=1.0, disk_iops=2.0)
+        a.add(ServiceDemand(cpu_millis=3.0, disk_bytes=5.0))
+        assert a.cpu_millis == 4.0
+        assert a.disk_iops == 2.0
+        assert a.disk_bytes == 5.0
+
+    def test_scaled_returns_copy(self):
+        demand = ServiceDemand(cpu_millis=2.0, network_bytes=10.0)
+        scaled = demand.scaled(0.5)
+        assert scaled.cpu_millis == 1.0
+        assert demand.cpu_millis == 2.0
+
+
+class TestCacheModel:
+    def test_bigger_cache_gives_higher_hit_ratio(self, model):
+        read_profile = NODE_PROFILES["read"].config
+        write_profile = NODE_PROFILES["write"].config
+        regions = [region(size_bytes=2e9)]
+        assert model.hit_ratio(read_profile, regions) > model.hit_ratio(
+            write_profile, regions
+        )
+
+    def test_hit_ratio_is_one_without_read_traffic(self, model):
+        regions = [region(read_rate=0.0, update_rate=100.0)]
+        assert model.hit_ratio(DEFAULT_HOMOGENEOUS, regions) == 1.0
+
+    def test_hit_ratio_decreases_with_more_hosted_data(self, model):
+        few = [region(size_bytes=1e9)]
+        many = [region(region_id=f"r{i}", size_bytes=1e9) for i in range(4)]
+        assert model.hit_ratio(DEFAULT_HOMOGENEOUS, few) >= model.hit_ratio(
+            DEFAULT_HOMOGENEOUS, many
+        )
+
+    def test_hit_ratio_bounded(self, model):
+        for size in (1e6, 1e9, 1e11):
+            ratio = model.hit_ratio(DEFAULT_HOMOGENEOUS, [region(size_bytes=size)])
+            assert 0.0 <= ratio <= 1.0
+
+    def test_small_working_set_yields_high_hit_ratio(self, model):
+        tight = [region(size_bytes=5e9, hot_data_fraction=0.02, hot_request_fraction=0.95)]
+        loose = [region(size_bytes=5e9)]
+        assert model.hit_ratio(DEFAULT_HOMOGENEOUS, tight) > model.hit_ratio(
+            DEFAULT_HOMOGENEOUS, loose
+        )
+
+
+class TestWriteModel:
+    def test_small_memstore_amplifies_writes(self, model):
+        small = RegionServerConfig(block_cache_fraction=0.5, memstore_fraction=0.10)
+        large = RegionServerConfig(block_cache_fraction=0.10, memstore_fraction=0.55)
+        assert model.write_amplification(small) > model.write_amplification(large)
+
+    def test_write_demand_scales_with_rate(self, model):
+        slow = model.write_demand(DEFAULT_HOMOGENEOUS, region(), 100.0)
+        fast = model.write_demand(DEFAULT_HOMOGENEOUS, region(), 1000.0)
+        assert fast.cpu_millis == pytest.approx(10 * slow.cpu_millis)
+        assert fast.disk_bytes == pytest.approx(10 * slow.disk_bytes)
+
+    def test_write_profile_cheaper_for_writes_than_read_profile(self, model):
+        write_cfg = NODE_PROFILES["write"].config
+        read_cfg = NODE_PROFILES["read"].config
+        w = model.write_demand(write_cfg, region(), 1000.0)
+        r = model.write_demand(read_cfg, region(), 1000.0)
+        assert w.cpu_millis < r.cpu_millis
+        assert w.disk_bytes < r.disk_bytes
+
+
+class TestReadModel:
+    def test_misses_cost_disk_iops(self, model):
+        demand = model.read_demand(DEFAULT_HOMOGENEOUS, region(), hit_ratio=0.5, rate=100.0)
+        assert demand.disk_iops == pytest.approx(50.0)
+
+    def test_full_hit_costs_no_disk(self, model):
+        demand = model.read_demand(DEFAULT_HOMOGENEOUS, region(), hit_ratio=1.0, rate=100.0)
+        assert demand.disk_iops == 0.0
+        assert demand.disk_bytes == 0.0
+
+    def test_remote_misses_cost_network_and_extra_iops(self, model):
+        local = model.read_demand(
+            DEFAULT_HOMOGENEOUS, region(locality=1.0), hit_ratio=0.5, rate=100.0
+        )
+        remote = model.read_demand(
+            DEFAULT_HOMOGENEOUS, region(locality=0.0), hit_ratio=0.5, rate=100.0
+        )
+        assert remote.network_bytes > local.network_bytes
+        assert remote.disk_iops > local.disk_iops
+
+    def test_smaller_blocks_read_fewer_bytes_per_miss(self, model):
+        small = DEFAULT_HOMOGENEOUS.with_overrides(block_size_bytes=32 * 1024)
+        large = DEFAULT_HOMOGENEOUS.with_overrides(block_size_bytes=128 * 1024)
+        small_demand = model.read_demand(small, region(), hit_ratio=0.5, rate=100.0)
+        large_demand = model.read_demand(large, region(), hit_ratio=0.5, rate=100.0)
+        assert small_demand.disk_bytes < large_demand.disk_bytes
+
+
+class TestScanModel:
+    def test_larger_blocks_make_scans_cheaper(self, model):
+        small = DEFAULT_HOMOGENEOUS.with_overrides(block_size_bytes=32 * 1024)
+        large = DEFAULT_HOMOGENEOUS.with_overrides(block_size_bytes=128 * 1024)
+        scan_region = region(read_rate=0.0, scan_rate=100.0, scan_length=100)
+        small_demand = model.scan_demand(small, scan_region, hit_ratio=0.5, rate=100.0)
+        large_demand = model.scan_demand(large, scan_region, hit_ratio=0.5, rate=100.0)
+        assert large_demand.cpu_millis < small_demand.cpu_millis
+        assert large_demand.disk_iops < small_demand.disk_iops
+
+    def test_scan_more_expensive_than_read(self, model):
+        read = model.read_demand(DEFAULT_HOMOGENEOUS, region(), hit_ratio=0.9, rate=100.0)
+        scan = model.scan_demand(DEFAULT_HOMOGENEOUS, region(), hit_ratio=0.9, rate=100.0)
+        assert scan.cpu_millis > read.cpu_millis
+
+    def test_rmw_costs_read_plus_write(self, model):
+        r = region()
+        rmw = model.rmw_demand(DEFAULT_HOMOGENEOUS, r, hit_ratio=0.8, rate=100.0)
+        read = model.read_demand(DEFAULT_HOMOGENEOUS, r, hit_ratio=0.8, rate=100.0)
+        write = model.write_demand(DEFAULT_HOMOGENEOUS, r, rate=100.0)
+        assert rmw.cpu_millis == pytest.approx(read.cpu_millis + write.cpu_millis)
+
+
+class TestNodeEvaluation:
+    def test_idle_node_has_zero_utilization(self, model):
+        result = model.evaluate_node(DEFAULT_HOMOGENEOUS, [])
+        assert result.utilization == 0.0
+        assert result.hit_ratio == 1.0
+
+    def test_utilization_grows_with_load(self, model):
+        light = model.evaluate_node(DEFAULT_HOMOGENEOUS, [region(read_rate=100.0)])
+        heavy = model.evaluate_node(DEFAULT_HOMOGENEOUS, [region(read_rate=10000.0)])
+        assert heavy.utilization > light.utilization
+
+    def test_latencies_inflate_under_load(self, model):
+        light = model.evaluate_node(DEFAULT_HOMOGENEOUS, [region(read_rate=100.0)])
+        heavy = model.evaluate_node(DEFAULT_HOMOGENEOUS, [region(read_rate=50000.0)])
+        assert heavy.per_op_latency_ms["read"] > light.per_op_latency_ms["read"]
+
+    def test_all_op_latencies_present(self, model):
+        result = model.evaluate_node(DEFAULT_HOMOGENEOUS, [region()])
+        assert set(result.per_op_latency_ms) == {
+            "read",
+            "update",
+            "insert",
+            "scan",
+            "read_modify_write",
+        }
+
+    def test_background_compaction_raises_io_wait(self, model):
+        quiet = model.evaluate_node(DEFAULT_HOMOGENEOUS, [region()])
+        busy = model.evaluate_node(
+            DEFAULT_HOMOGENEOUS, [region()], background_disk_bytes_per_s=50e6
+        )
+        assert busy.io_wait > quiet.io_wait
+
+    def test_read_profile_beats_write_profile_for_read_heavy_node(self, model):
+        regions = [region(size_bytes=1.5e9, read_rate=5000.0)]
+        read_result = model.evaluate_node(NODE_PROFILES["read"].config, regions)
+        write_result = model.evaluate_node(NODE_PROFILES["write"].config, regions)
+        assert read_result.utilization < write_result.utilization
+
+    def test_write_profile_beats_read_profile_for_write_heavy_node(self, model):
+        regions = [region(read_rate=0.0, update_rate=5000.0)]
+        write_result = model.evaluate_node(NODE_PROFILES["write"].config, regions)
+        read_result = model.evaluate_node(NODE_PROFILES["read"].config, regions)
+        assert write_result.utilization < read_result.utilization
+
+    def test_scan_profile_beats_default_for_scan_heavy_node(self, model):
+        regions = [region(read_rate=0.0, scan_rate=800.0, scan_length=100)]
+        scan_result = model.evaluate_node(NODE_PROFILES["scan"].config, regions)
+        default_result = model.evaluate_node(DEFAULT_HOMOGENEOUS, regions)
+        assert scan_result.utilization < default_result.utilization

@@ -1,0 +1,178 @@
+"""Property-based tests (hypothesis) for the core algorithms and substrates."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.assignment import assign_partitions, makespan
+from repro.core.classification import AccessPattern, ClassifiedPartition, classify_partition
+from repro.core.grouping import nodes_per_group
+from repro.core.output import TargetSlot, compute_output
+from repro.core.sizing import SizingAlgorithm
+from repro.hbase.region import Region
+from repro.hbase.storefile import StoreFile
+from repro.hbase.table import Cell, HTableDescriptor
+from repro.monitoring.smoothing import ExponentialSmoother
+from repro.workloads.ycsb.workloads import hotspot_partition_weights
+
+requests = st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+@given(reads=requests, writes=requests, scans=requests)
+def test_classification_is_total_and_consistent(reads, writes, scans):
+    """Every partition gets exactly one group, consistent with its dominant op."""
+    pattern = classify_partition(reads, writes, scans)
+    assert pattern in AccessPattern
+    total = reads + writes + scans
+    if total > 0:
+        if writes / total > 0.6:
+            assert pattern is AccessPattern.WRITE
+        if reads / total > 0.6 and scans == 0:
+            assert pattern is AccessPattern.READ
+
+
+@given(
+    costs=st.lists(st.floats(min_value=0.0, max_value=1e5), min_size=1, max_size=60),
+    node_count=st.integers(min_value=1, max_value=10),
+)
+def test_lpt_assignment_is_complete_and_reasonably_balanced(costs, node_count):
+    """LPT assigns every partition exactly once and is within 2x of the mean load."""
+    partitions = [
+        ClassifiedPartition(f"p{i}", AccessPattern.READ, cost, 1e8)
+        for i, cost in enumerate(costs)
+    ]
+    nodes = [f"n{i}" for i in range(node_count)]
+    assignment = assign_partitions(partitions, nodes)
+    assigned = sorted(p for parts in assignment.values() for p in parts)
+    assert assigned == sorted(p.partition_id for p in partitions)
+    cost_map = {p.partition_id: p.requests for p in partitions}
+    total = sum(cost_map.values())
+    if total > 0 and node_count <= len(costs):
+        # Graham's bound: the makespan of LPT is at most (4/3 - 1/3m) * OPT;
+        # the mean load is a lower bound for OPT, and every schedule's
+        # makespan is also bounded below by the largest single job.
+        bound = max(total / node_count, max(cost_map.values())) * 2.0
+        assert makespan(assignment, cost_map) <= bound + 1e-6
+
+
+@given(
+    group_sizes=st.dictionaries(
+        st.sampled_from(list(AccessPattern)),
+        st.integers(min_value=1, max_value=30),
+        min_size=1,
+        max_size=4,
+    ),
+    total_nodes=st.integers(min_value=1, max_value=40),
+)
+def test_grouping_conserves_nodes(group_sizes, total_nodes):
+    """Node allocation sums to the available nodes and never exceeds them."""
+    groups = {
+        pattern: [
+            ClassifiedPartition(f"{pattern.value}-{i}", pattern, 10.0, 1e8)
+            for i in range(size)
+        ]
+        for pattern, size in group_sizes.items()
+    }
+    allocation = nodes_per_group(groups, total_nodes)
+    assert sum(allocation.values()) <= total_nodes
+    if total_nodes >= len(groups):
+        assert sum(allocation.values()) == total_nodes
+        assert all(count >= 1 for count in allocation.values())
+
+
+@given(
+    partition_count=st.integers(min_value=1, max_value=30),
+    node_count=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_output_computation_assigns_each_slot_once(partition_count, node_count, seed):
+    """Stage D hands every target slot to exactly one node."""
+    import random
+
+    rng = random.Random(seed)
+    partitions = [f"p{i}" for i in range(partition_count)]
+    current_state = {
+        f"n{i}": {p for p in partitions if rng.randrange(node_count) == i}
+        for i in range(node_count)
+    }
+    current_profiles = {node: "default" for node in current_state}
+    slot_count = max(1, min(node_count, partition_count))
+    slots = [
+        TargetSlot(
+            profile="read",
+            partitions=frozenset(partitions[i::slot_count]),
+        )
+        for i in range(slot_count)
+    ]
+    targets = compute_output(current_state, current_profiles, slots)
+    assert len(targets) == len(slots)
+    assert len({t.node for t in targets}) == len(targets)
+    covered = set()
+    for target in targets:
+        covered |= target.partitions
+    assert covered == set(partitions)
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=30))
+def test_sizing_algorithm_never_removes_more_than_one(decisions):
+    """Algorithm 1 removes at most one node per iteration and adds powers of two."""
+    algorithm = SizingAlgorithm()
+    for remove in decisions:
+        outcome = algorithm.decide(0.3 if remove else 0.9, remove=remove)
+        assert outcome.delta >= -1
+        if outcome.delta > 0:
+            assert outcome.delta & (outcome.delta - 1) == 0  # power of two
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=20))
+def test_smoothed_value_stays_within_observed_range(values):
+    """Exponential smoothing never leaves the observed value range."""
+    smoother = ExponentialSmoother(window=len(values))
+    for value in values:
+        smoother.observe(value)
+    assert min(values) - 1e-9 <= smoother.value() <= max(values) + 1e-9
+
+
+@given(st.integers(min_value=1, max_value=32))
+def test_hotspot_weights_are_a_distribution(partitions):
+    """Per-partition request shares are non-negative and sum to one."""
+    weights = hotspot_partition_weights(partitions)
+    assert len(weights) == partitions
+    assert all(w >= 0 for w in weights)
+    assert abs(sum(weights) - 1.0) < 1e-9
+
+
+row_keys = st.text(alphabet="abcdefghij", min_size=1, max_size=6)
+
+
+@given(st.dictionaries(row_keys, st.binary(min_size=1, max_size=20), min_size=1, max_size=30))
+@settings(max_examples=50)
+def test_region_read_your_writes(rows):
+    """Whatever is put into a region is readable back (read-your-writes)."""
+    # The substrate reserves one sentinel byte string for delete markers
+    # (as HBase reserves delete-type KeyValues); user values never use it.
+    from repro.hbase.region import TOMBSTONE
+
+    assume(all(value != TOMBSTONE for value in rows.values()))
+    table = HTableDescriptor(name="t", column_families=("cf",))
+    region = Region(table)
+    for row, value in rows.items():
+        region.put(row, "cf:v", value)
+    for row, value in rows.items():
+        assert region.read_row(row, lambda *_: None)["cf:v"] == value
+
+
+@given(
+    st.dictionaries(row_keys, st.binary(min_size=1, max_size=20), min_size=1, max_size=30),
+    st.integers(min_value=64, max_value=4096),
+)
+@settings(max_examples=50)
+def test_storefile_blocks_partition_rows(rows, block_size):
+    """Store-file blocks cover every row exactly once, in sorted order."""
+    cells = [Cell(row=row, column="cf:v", timestamp=1, value=value) for row, value in rows.items()]
+    store = StoreFile("/f", cells, block_size_bytes=block_size)
+    covered = [row for block in store.blocks for row in block.rows]
+    assert covered == sorted(rows)
+    for row in rows:
+        block = store.block_for_row(row)
+        assert block is not None
+        assert row in block.rows

@@ -1,0 +1,198 @@
+"""Unit tests for the simulation kernel: clock, hardware, metrics, workload bindings."""
+
+import pytest
+
+from repro.simulation.clock import ClockError, SimulationClock
+from repro.simulation.hardware import GB, LARGE_NODE, PAPER_NODE, HardwareSpec
+from repro.simulation.metrics import MetricSeries, MetricsRegistry
+from repro.simulation.workload import CLIENT_OVERHEAD_MS, OfferedLoad, WorkloadBinding
+
+
+class TestSimulationClock:
+    def test_starts_at_zero(self):
+        assert SimulationClock().now == 0.0
+
+    def test_advance_moves_forward(self):
+        clock = SimulationClock()
+        assert clock.advance(10.0) == 10.0
+        assert clock.now == 10.0
+
+    def test_tick_uses_default_size(self):
+        clock = SimulationClock(tick_seconds=2.5)
+        clock.tick()
+        clock.tick()
+        assert clock.now == pytest.approx(5.0)
+        assert clock.ticks_elapsed == 2
+
+    def test_minutes_property(self):
+        clock = SimulationClock()
+        clock.advance(90.0)
+        assert clock.minutes == pytest.approx(1.5)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ClockError):
+            SimulationClock().advance(-1.0)
+
+    def test_zero_advance_rejected(self):
+        with pytest.raises(ClockError):
+            SimulationClock().advance(0.0)
+
+    def test_reset(self):
+        clock = SimulationClock()
+        clock.advance(5.0)
+        clock.reset()
+        assert clock.now == 0.0
+        assert clock.ticks_elapsed == 0
+
+
+class TestHardwareSpec:
+    def test_paper_node_is_valid(self):
+        PAPER_NODE.validate()
+
+    def test_large_node_is_valid(self):
+        LARGE_NODE.validate()
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            HardwareSpec(cpu_millis_per_second=0).validate()
+
+    def test_rejects_heap_larger_than_memory(self):
+        with pytest.raises(ValueError):
+            HardwareSpec(memory_bytes=2 * GB, heap_bytes=3 * GB).validate()
+
+    def test_default_heap_fits_in_memory(self):
+        spec = HardwareSpec()
+        assert spec.heap_bytes <= spec.memory_bytes
+
+
+class TestMetricSeries:
+    def test_record_and_latest(self):
+        series = MetricSeries("cpu")
+        series.record(1.0, 0.5)
+        series.record(2.0, 0.7)
+        assert series.latest() == 0.7
+        assert len(series) == 2
+
+    def test_latest_default_when_empty(self):
+        assert MetricSeries("cpu").latest(default=0.1) == 0.1
+
+    def test_rejects_out_of_order_timestamps(self):
+        series = MetricSeries("cpu")
+        series.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            series.record(4.0, 1.0)
+
+    def test_window_selects_inclusive_range(self):
+        series = MetricSeries("x")
+        for t in range(10):
+            series.record(float(t), float(t))
+        window = series.window(2.0, 5.0)
+        assert [v for _, v in window] == [2.0, 3.0, 4.0, 5.0]
+
+    def test_mean_and_max_over_last_n(self):
+        series = MetricSeries("x")
+        for t, v in enumerate([1.0, 2.0, 3.0, 4.0]):
+            series.record(float(t), v)
+        assert series.mean(last_n=2) == pytest.approx(3.5)
+        assert series.maximum(last_n=3) == 4.0
+
+    def test_cumulative(self):
+        series = MetricSeries("x")
+        for t, v in enumerate([1.0, 2.0, 3.0]):
+            series.record(float(t), v)
+        assert series.cumulative() == [1.0, 3.0, 6.0]
+
+    def test_total(self):
+        series = MetricSeries("x")
+        series.record(0.0, 2.0)
+        series.record(1.0, 3.0)
+        assert series.total() == 5.0
+
+
+class TestMetricsRegistry:
+    def test_series_created_on_demand(self):
+        registry = MetricsRegistry()
+        registry.record("node-1", "cpu", 0.0, 0.4)
+        assert registry.latest("node-1", "cpu") == 0.4
+        assert registry.entities() == ["node-1"]
+        assert registry.metrics_for("node-1") == ["cpu"]
+
+    def test_latest_default_for_unknown(self):
+        assert MetricsRegistry().latest("nope", "cpu", default=0.9) == 0.9
+
+    def test_drop_entity(self):
+        registry = MetricsRegistry()
+        registry.record("node-1", "cpu", 0.0, 0.4)
+        registry.record("node-2", "cpu", 0.0, 0.5)
+        registry.drop_entity("node-1")
+        assert registry.entities() == ["node-2"]
+
+
+class TestWorkloadBinding:
+    def _binding(self, **overrides):
+        kwargs = dict(
+            name="w",
+            threads=10,
+            op_mix={"read": 0.5, "update": 0.5},
+            region_weights={"r1": 0.6, "r2": 0.4},
+        )
+        kwargs.update(overrides)
+        return WorkloadBinding(**kwargs)
+
+    def test_valid_binding(self):
+        binding = self._binding()
+        assert binding.regions() == ["r1", "r2"]
+
+    def test_rejects_bad_mix_sum(self):
+        with pytest.raises(ValueError):
+            self._binding(op_mix={"read": 0.5, "update": 0.4})
+
+    def test_rejects_unknown_op(self):
+        with pytest.raises(ValueError):
+            self._binding(op_mix={"read": 0.5, "fly": 0.5})
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            self._binding(region_weights={"r1": 0.7, "r2": 0.7})
+
+    def test_rejects_nonpositive_threads(self):
+        with pytest.raises(ValueError):
+            self._binding(threads=0)
+
+    def test_max_throughput_decreases_with_latency(self):
+        binding = self._binding()
+        fast = binding.max_throughput(1.0)
+        slow = binding.max_throughput(10.0)
+        assert fast > slow > 0
+
+    def test_max_throughput_respects_target_cap(self):
+        binding = self._binding(target_ops_per_second=100.0)
+        assert binding.max_throughput(0.1) == 100.0
+
+    def test_inactive_binding_offers_nothing(self):
+        binding = self._binding(active=False)
+        assert binding.max_throughput(1.0) == 0.0
+
+    def test_offered_loads_split_by_weights_and_mix(self):
+        binding = self._binding()
+        loads = {load.region_id: load for load in binding.offered_loads(1000.0)}
+        assert loads["r1"].rate("read") == pytest.approx(300.0)
+        assert loads["r2"].total == pytest.approx(400.0)
+
+    def test_mean_latency_uses_default_for_missing_regions(self):
+        binding = self._binding()
+        latency = binding.mean_latency({"r1": {"read": 1.0, "update": 1.0}})
+        # r2 is unavailable and contributes the blocked-request penalty.
+        assert latency > 100.0
+
+    def test_single_thread_bounded_by_client_overhead(self):
+        binding = self._binding(threads=1)
+        assert binding.max_throughput(0.0) <= 1000.0 / CLIENT_OVERHEAD_MS
+
+
+class TestOfferedLoad:
+    def test_total_and_rate(self):
+        load = OfferedLoad(region_id="r", rates={"read": 5.0, "scan": 1.0})
+        assert load.total == 6.0
+        assert load.rate("read") == 5.0
+        assert load.rate("update") == 0.0

@@ -1,0 +1,266 @@
+"""Tests for the YCSB and TPC-C workload generators."""
+
+import pytest
+
+from repro.hbase.cluster import MiniHBaseCluster
+from repro.hbase.config import TPCC_HOMOGENEOUS
+from repro.simulation.cluster import ClusterSimulator
+from repro.workloads.tpcc.driver import (
+    TPCCDriver,
+    build_tpcc_scenario,
+    simulator_binding,
+    tpmc_from_ops_rate,
+)
+from repro.workloads.tpcc.loader import TPCCLoader
+from repro.workloads.tpcc.schema import TPCC_TABLES, TPCCConfig, warehouse_key
+from repro.workloads.tpcc.transactions import (
+    TRANSACTION_MIX,
+    aggregate_operation_mix,
+    operations_per_transaction,
+    read_only_fraction,
+)
+from repro.workloads.ycsb.client import YCSBClient, format_key
+from repro.workloads.ycsb.distributions import (
+    HotspotChooser,
+    LatestChooser,
+    UniformChooser,
+    ZipfianChooser,
+    partition_request_shares,
+)
+from repro.workloads.ycsb.scenario import build_paper_scenario
+from repro.workloads.ycsb.workloads import (
+    CORE_WORKLOADS,
+    YCSBWorkload,
+    hotspot_partition_weights,
+    partition_specs,
+)
+
+
+class TestDistributions:
+    @pytest.mark.parametrize(
+        "chooser_cls", [UniformChooser, HotspotChooser, ZipfianChooser, LatestChooser]
+    )
+    def test_indices_within_bounds(self, chooser_cls):
+        chooser = chooser_cls(1000, seed=1)
+        for _ in range(500):
+            assert 0 <= chooser.next_index() < 1000
+
+    def test_hotspot_concentrates_requests(self):
+        chooser = HotspotChooser(1000, hot_set_fraction=0.4, hot_operation_fraction=0.5, seed=1)
+        hot = sum(1 for _ in range(4000) if chooser.next_index() < 400)
+        assert 0.45 <= hot / 4000 <= 0.60  # ~50% of requests hit the hot set
+
+    def test_zipfian_skews_to_low_indices(self):
+        chooser = ZipfianChooser(1000, seed=1)
+        low = sum(1 for _ in range(2000) if chooser.next_index() < 100)
+        assert low / 2000 > 0.5
+
+    def test_latest_skews_to_recent(self):
+        chooser = LatestChooser(1000, seed=1)
+        recent = sum(1 for _ in range(2000) if chooser.next_index() >= 900)
+        assert recent / 2000 > 0.5
+
+    def test_extend_grows_keyspace(self):
+        chooser = UniformChooser(10, seed=1)
+        chooser.extend(100)
+        assert chooser.record_count == 100
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            UniformChooser(0)
+        with pytest.raises(ValueError):
+            HotspotChooser(10, hot_set_fraction=0.0)
+        with pytest.raises(ValueError):
+            ZipfianChooser(10, theta=1.5)
+
+    def test_partition_request_shares_sum_to_one(self):
+        shares = partition_request_shares(
+            lambda n, seed: HotspotChooser(n, seed=seed), 1000, 4
+        )
+        assert sum(shares) == pytest.approx(1.0)
+        assert shares[0] > shares[-1]
+
+
+class TestYCSBWorkloads:
+    def test_six_paper_workloads_defined(self):
+        assert set(CORE_WORKLOADS) == set("ABCDEF")
+
+    def test_paper_configuration_of_b_and_d(self):
+        assert CORE_WORKLOADS["B"].update_proportion == 1.0
+        assert CORE_WORKLOADS["D"].insert_proportion == 0.95
+        assert CORE_WORKLOADS["D"].record_count == 100_000
+        assert CORE_WORKLOADS["D"].threads == 5
+        assert CORE_WORKLOADS["D"].target_ops_per_second == 1500.0
+        assert CORE_WORKLOADS["D"].partitions == 1
+
+    def test_op_mix_sums_to_one(self):
+        for workload in CORE_WORKLOADS.values():
+            assert sum(workload.op_mix.values()) == pytest.approx(1.0)
+
+    def test_invalid_mix_rejected(self):
+        with pytest.raises(ValueError):
+            YCSBWorkload(name="bad", read_proportion=0.5)
+
+    def test_hotspot_partition_weights_match_paper(self):
+        weights = hotspot_partition_weights(4)
+        assert weights == [0.34, 0.26, 0.20, 0.20]
+        assert hotspot_partition_weights(1) == [1.0]
+        assert sum(hotspot_partition_weights(6)) == pytest.approx(1.0)
+
+    def test_partition_specs_sizes_and_ids(self):
+        specs = partition_specs(CORE_WORKLOADS["A"])
+        assert len(specs) == 4
+        assert specs[0].partition_id == "A:part-0"
+        assert sum(s.size_bytes for s in specs) == pytest.approx(
+            CORE_WORKLOADS["A"].initial_size_bytes
+        )
+
+    def test_expected_requests_breakdown(self):
+        spec = partition_specs(CORE_WORKLOADS["A"])[0]
+        counts = spec.expected_requests(1000.0)
+        assert counts["reads"] == pytest.approx(1000 * 0.34 * 0.5)
+        assert counts["writes"] == pytest.approx(1000 * 0.34 * 0.5)
+
+    def test_nominal_volume_ranks_read_above_scan(self):
+        assert (
+            CORE_WORKLOADS["C"].nominal_ops_per_second
+            > CORE_WORKLOADS["E"].nominal_ops_per_second
+        )
+        assert CORE_WORKLOADS["D"].nominal_ops_per_second <= 1500.0
+
+
+class TestYCSBScenario:
+    def test_build_paper_scenario_creates_partitions_and_bindings(self):
+        simulator = ClusterSimulator()
+        simulator.add_node()
+        scenario = build_paper_scenario(simulator)
+        # 4 partitions per workload except D with a single one.
+        assert len(scenario.partitions) == 21
+        assert len(simulator.regions) == 21
+        assert len(simulator.bindings) == 6
+        assert len(scenario.expected_partition_workloads()) == 21
+
+    def test_initial_data_volume_matches_paper(self):
+        simulator = ClusterSimulator()
+        simulator.add_node()
+        build_paper_scenario(simulator)
+        total_gb = sum(r.size_bytes for r in simulator.regions.values()) / 1e9
+        # Paper: the cluster starts with around 7 GB of data.
+        assert 4.0 <= total_gb <= 8.0
+
+
+class TestYCSBClient:
+    def test_key_format_preserves_order(self):
+        assert format_key(1) < format_key(2) < format_key(10)
+
+    def test_load_and_run_against_mini_hbase(self):
+        cluster = MiniHBaseCluster(initial_servers=2)
+        workload = YCSBWorkload(
+            name="demo",
+            read_proportion=0.4,
+            update_proportion=0.3,
+            insert_proportion=0.1,
+            scan_proportion=0.1,
+            read_modify_write_proportion=0.1,
+            record_count=200,
+            partitions=2,
+            threads=1,
+        )
+        cluster.create_table(workload.table_name, split_keys=[format_key(100)])
+        client = YCSBClient(cluster.client(), workload, seed=5)
+        assert client.load() == 200
+        result = client.run(300)
+        assert result.operations == 300
+        assert result.reads > 0 and result.updates > 0
+        assert result.inserts > 0 and result.scans > 0
+        assert result.read_modify_writes > 0
+        # Keys are drawn from the loaded key space, so reads find data.
+        assert result.read_misses < result.reads
+
+
+class TestTPCCSchema:
+    def test_nine_tables(self):
+        assert len(TPCC_TABLES) == 9
+
+    def test_paper_scale_configuration(self):
+        config = TPCCConfig()
+        assert config.warehouses == 30
+        assert config.partitions == 6
+        assert config.clients == 300
+        # Paper: 30 warehouses give a database of roughly 15 GB.
+        assert 8e9 <= config.database_bytes() <= 25e9
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            TPCCConfig(warehouses=0)
+        with pytest.raises(ValueError):
+            TPCCConfig(scale_factor=0.0)
+
+    def test_key_encodings_sort_by_warehouse(self):
+        assert warehouse_key(1) < warehouse_key(2) < warehouse_key(10)
+
+
+class TestTPCCTransactions:
+    def test_mix_weights_sum_to_one(self):
+        assert sum(p.weight for p in TRANSACTION_MIX.values()) == pytest.approx(1.0)
+
+    def test_read_only_fraction_is_about_8_percent(self):
+        assert read_only_fraction() == pytest.approx(0.08)
+
+    def test_aggregate_mix_is_write_heavy(self):
+        mix = aggregate_operation_mix()
+        assert sum(mix.values()) == pytest.approx(1.0)
+        assert mix["update"] > 0.6  # classified as a write workload by MeT
+
+    def test_operations_per_transaction_positive(self):
+        assert operations_per_transaction() > 10
+
+    def test_tpmc_conversion(self):
+        ops_rate = operations_per_transaction() * 100.0  # 100 tx/s
+        assert tpmc_from_ops_rate(ops_rate) == pytest.approx(100 * 0.45 * 60)
+
+
+class TestTPCCFunctional:
+    @pytest.fixture(scope="class")
+    def tpcc_cluster(self):
+        cluster = MiniHBaseCluster(initial_servers=2, config=TPCC_HOMOGENEOUS)
+        config = TPCCConfig(warehouses=2, warehouses_per_node=1, clients=2, scale_factor=0.01)
+        loader = TPCCLoader(cluster.client(), config, seed=3)
+        loader.create_tables(cluster.master)
+        loader.load()
+        return cluster, config, loader
+
+    def test_loader_populates_all_tables(self, tpcc_cluster):
+        cluster, config, loader = tpcc_cluster
+        assert loader.rows_loaded > 100
+        client = cluster.client()
+        assert client.get("warehouse", warehouse_key(1))
+        assert client.get("item", "I#000001")
+
+    def test_driver_runs_all_transaction_types(self, tpcc_cluster):
+        cluster, config, _ = tpcc_cluster
+        driver = TPCCDriver(cluster.client(), config, seed=7)
+        result = driver.run(200)
+        assert result.transactions == 200
+        assert result.new_orders > 0
+        assert result.tpmc > 0
+        assert set(result.per_type) <= set(TRANSACTION_MIX)
+        assert len(result.per_type) >= 4
+
+
+class TestTPCCSimulatorBinding:
+    def test_binding_addresses_all_partitions(self):
+        config = TPCCConfig()
+        binding = simulator_binding(config)
+        assert binding.threads == 300
+        assert len(binding.region_weights) == config.partitions
+        assert sum(binding.region_weights.values()) == pytest.approx(1.0)
+
+    def test_build_tpcc_scenario(self):
+        simulator = ClusterSimulator()
+        node = simulator.add_node()
+        config, binding = build_tpcc_scenario(simulator, initial_node=node)
+        assert len(simulator.regions) == config.partitions
+        assert "tpcc" in simulator.bindings
+        simulator.run(30.0)
+        assert simulator.binding_throughput("tpcc") > 0
