@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Benchmark the simulation kernel: fast vs reference (seed) ticks/sec.
+
+Runs the deterministic synthetic scenario at small/medium/large scales with
+both kernels and writes ``BENCH_kernel.json`` at the repo root so the perf
+trajectory is tracked PR over PR.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_kernel.py [--scale large] [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.simulation.bench import SCALES, run_kernel_benchmark  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        action="append",
+        choices=sorted(SCALES),
+        help="scale(s) to run (default: all)",
+    )
+    parser.add_argument(
+        "--reference-ticks",
+        type=int,
+        default=20,
+        help="timed ticks for the reference kernel (default: 20)",
+    )
+    parser.add_argument(
+        "--fast-ticks",
+        type=int,
+        default=100,
+        help="timed ticks for the fast kernel (default: 100)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_kernel.json",
+        help="where to write the JSON report (default: BENCH_kernel.json)",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_kernel_benchmark(
+        scales=args.scale,
+        reference_ticks=args.reference_ticks,
+        fast_ticks=args.fast_ticks,
+    )
+
+    header = f"{'scale':<8} {'nodes':>5} {'regions':>7} {'tenants':>7} {'ref t/s':>9} {'fast t/s':>9} {'speedup':>8}"
+    print(header)
+    print("-" * len(header))
+    for result in results:
+        print(
+            f"{result.scale:<8} {result.nodes:>5} {result.regions:>7} "
+            f"{result.tenants:>7} {result.reference_ticks_per_sec:>9.1f} "
+            f"{result.fast_ticks_per_sec:>9.1f} {result.speedup:>7.1f}x"
+        )
+
+    report = {
+        "benchmark": "simulation-kernel-ticks-per-second",
+        "python": platform.python_version(),
+        "scales": {result.scale: result.as_dict() for result in results},
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

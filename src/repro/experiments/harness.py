@@ -105,14 +105,17 @@ class ExperimentHarness:
     def run_for(self, seconds: float) -> StrategyRun:
         """Advance the simulation by ``seconds``, sampling along the way."""
         simulator = self.simulator
+        controllers = self._controllers
+        tick_seconds = simulator.clock.tick_seconds
         remaining = seconds
         while remaining > 1e-9:
-            step = min(simulator.clock.tick_seconds, remaining)
+            step = tick_seconds if tick_seconds < remaining else remaining
             simulator.tick(step)
             now = simulator.clock.now
-            for controller in self._controllers:
+            for controller in controllers:
                 controller.step(now)
-            self._machine_seconds += len(simulator.online_nodes()) * step
+            # Counting online nodes avoids allocating a node list every tick.
+            self._machine_seconds += simulator.online_node_count() * step
             if now + 1e-9 >= self._next_sample:
                 self._sample(now)
                 self._next_sample = now + self.sample_every_seconds
@@ -126,7 +129,7 @@ class ExperimentHarness:
                 minute=now / 60.0,
                 throughput=self.simulator.cluster_throughput(),
                 cumulative_ops=self.simulator.total_ops,
-                nodes=len(self.simulator.online_nodes()),
+                nodes=self.simulator.online_node_count(),
             )
         )
 

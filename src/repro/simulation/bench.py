@@ -1,0 +1,155 @@
+"""Kernel benchmark machinery: synthetic scenarios and ticks/sec timing.
+
+Shared by ``scripts/bench_kernel.py`` (which writes ``BENCH_kernel.json``)
+and the tier-2 ``benchmarks/test_perf_kernel.py`` gate.  The synthetic
+scenario is deterministic -- no RNG -- so the fast and reference kernels can
+be timed on byte-identical inputs and compared for numerical equivalence.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.simulation.cluster import ClusterSimulator
+from repro.simulation.workload import WorkloadBinding
+
+#: Operation mixes cycled across tenants: read-heavy, update-heavy, scan and
+#: insert tenants exercise every path of the cost model.
+TENANT_MIXES: list[dict[str, float]] = [
+    {"read": 0.95, "update": 0.05},
+    {"read": 0.5, "update": 0.5},
+    {"read": 0.95, "scan": 0.05},
+    {"read": 0.9, "insert": 0.1},
+    {"scan": 0.95, "insert": 0.05},
+    {"read": 0.5, "read_modify_write": 0.5},
+    {"read": 0.7, "update": 0.2, "scan": 0.1},
+    {"update": 0.6, "insert": 0.4},
+]
+
+#: Benchmark scales: name -> (nodes, regions, tenants).
+SCALES: dict[str, tuple[int, int, int]] = {
+    "small": (10, 100, 4),
+    "medium": (25, 250, 6),
+    "large": (50, 500, 8),
+}
+
+
+@dataclass
+class KernelBenchResult:
+    """Ticks/sec of both kernels at one scale."""
+
+    scale: str
+    nodes: int
+    regions: int
+    tenants: int
+    reference_ticks_per_sec: float
+    fast_ticks_per_sec: float
+
+    @property
+    def speedup(self) -> float:
+        if self.reference_ticks_per_sec <= 0:
+            return 0.0
+        return self.fast_ticks_per_sec / self.reference_ticks_per_sec
+
+    def as_dict(self) -> dict:
+        return {
+            "scale": self.scale,
+            "nodes": self.nodes,
+            "regions": self.regions,
+            "tenants": self.tenants,
+            "reference_ticks_per_sec": round(self.reference_ticks_per_sec, 3),
+            "fast_ticks_per_sec": round(self.fast_ticks_per_sec, 3),
+            "speedup": round(self.speedup, 2),
+        }
+
+
+def build_synthetic_cluster(
+    nodes: int, regions: int, tenants: int, kernel: str
+) -> ClusterSimulator:
+    """Deterministic multi-tenant cluster: regions round-robin and local."""
+    if nodes <= 0 or tenants <= 0 or regions < tenants:
+        raise ValueError(
+            f"need nodes > 0 and regions >= tenants > 0, got "
+            f"nodes={nodes}, regions={regions}, tenants={tenants}"
+        )
+    sim = ClusterSimulator(kernel=kernel)
+    node_names = [sim.add_node() for _ in range(nodes)]
+    per_tenant = max(1, regions // tenants)
+    created = 0
+    for tenant in range(tenants):
+        mix = TENANT_MIXES[tenant % len(TENANT_MIXES)]
+        count = per_tenant if tenant < tenants - 1 else regions - created
+        region_ids = []
+        for index in range(count):
+            region_id = f"t{tenant}:r{index}"
+            sim.add_region(
+                region_id,
+                workload=f"tenant-{tenant}",
+                # Vary sizes deterministically so hit ratios differ per node.
+                size_bytes=2e8 + 1e7 * ((created * 7) % 23),
+                node=node_names[created % nodes],
+                scan_length=50 + 10 * (tenant % 3),
+            )
+            region_ids.append(region_id)
+            created += 1
+        weight = 1.0 / len(region_ids)
+        weights = {rid: weight for rid in region_ids}
+        # Region weights must sum to exactly 1.0.
+        last = region_ids[-1]
+        weights[last] = 1.0 - weight * (len(region_ids) - 1)
+        sim.attach_workload(
+            WorkloadBinding(
+                name=f"tenant-{tenant}",
+                threads=40 + 5 * tenant,
+                op_mix=mix,
+                region_weights=weights,
+            )
+        )
+    return sim
+
+
+def measure_ticks_per_second(
+    sim: ClusterSimulator, ticks: int, warmup_ticks: int = 3
+) -> float:
+    """Time ``ticks`` simulator ticks after a short warmup."""
+    for _ in range(warmup_ticks):
+        sim.tick()
+    start = time.perf_counter()
+    for _ in range(ticks):
+        sim.tick()
+    elapsed = time.perf_counter() - start
+    return ticks / elapsed if elapsed > 0 else float("inf")
+
+
+def run_scale(
+    scale: str,
+    reference_ticks: int = 20,
+    fast_ticks: int = 100,
+) -> KernelBenchResult:
+    """Benchmark both kernels at a named scale."""
+    nodes, regions, tenants = SCALES[scale]
+    reference = build_synthetic_cluster(nodes, regions, tenants, kernel="reference")
+    fast = build_synthetic_cluster(nodes, regions, tenants, kernel="fast")
+    reference_tps = measure_ticks_per_second(reference, reference_ticks)
+    fast_tps = measure_ticks_per_second(fast, fast_ticks)
+    return KernelBenchResult(
+        scale=scale,
+        nodes=nodes,
+        regions=regions,
+        tenants=tenants,
+        reference_ticks_per_sec=reference_tps,
+        fast_ticks_per_sec=fast_tps,
+    )
+
+
+def run_kernel_benchmark(
+    scales: list[str] | None = None,
+    reference_ticks: int = 20,
+    fast_ticks: int = 100,
+) -> list[KernelBenchResult]:
+    """Benchmark every requested scale (defaults to all)."""
+    return [
+        run_scale(scale, reference_ticks=reference_ticks, fast_ticks=fast_ticks)
+        for scale in (scales or list(SCALES))
+    ]

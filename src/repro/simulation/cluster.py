@@ -13,18 +13,38 @@ framework, the tiramola baseline and the manual strategies need:
   throughput;
 * actions -- add/remove nodes (with IaaS-like boot delays), reconfigure a
   node (drain + restart), move regions, trigger major compactions.
+
+Two kernels solve the per-tick closed-loop fixed point:
+
+* ``kernel="fast"`` (the default) keeps an incremental ``node -> regions``
+  index, reuses :class:`~repro.simulation.perfmodel.RegionLoadProfile`
+  objects and offered-rate dicts across fixed-point iterations, evaluates
+  nodes through memoised tick-constant
+  :class:`~repro.simulation.perfmodel.NodeEvaluator` contexts, and stops
+  iterating as soon as per-binding throughputs converge below
+  ``fixed_point_tolerance``;
+* ``kernel="reference"`` preserves the original seed behaviour -- full
+  region scans, fresh allocations and a fixed iteration count -- and exists
+  as the baseline for ``scripts/bench_kernel.py`` and the kernel
+  equivalence regression test.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from operator import attrgetter
 
 from repro.hbase.config import DEFAULT_HOMOGENEOUS, RegionServerConfig
 from repro.simulation.clock import SimulationClock
 from repro.simulation.hardware import MB, HardwareSpec
 from repro.simulation.metrics import MetricsRegistry
-from repro.simulation.perfmodel import PerformanceModel, RegionLoadProfile
+from repro.simulation.perfmodel import (
+    OP_TYPES,
+    NodeEvaluator,
+    PerformanceModel,
+    RegionLoadProfile,
+)
 from repro.simulation.workload import WorkloadBinding
 
 #: Time for a new virtual machine to boot and join the cluster (seconds).
@@ -42,6 +62,24 @@ STATE_ONLINE = "online"
 STATE_BOOTING = "booting"
 STATE_RESTARTING = "restarting"
 STATE_OFFLINE = "offline"
+
+#: Kernel implementations (see module docstring).
+KERNEL_FAST = "fast"
+KERNEL_REFERENCE = "reference"
+
+#: Default relative tolerance at which the adaptive fixed point stops
+#: iterating; tight enough that fast and reference kernels agree to well
+#: within 1e-6 relative on per-binding throughput series.
+DEFAULT_FIXED_POINT_TOLERANCE = 1e-8
+#: Iteration cap of the fixed-point solver (the seed always ran this many).
+DEFAULT_FIXED_POINT_ITERATIONS = 10
+
+_REGION_SEQ = attrgetter("_seq")
+
+#: Operation name -> slot in the fast kernel's 5-float rate rows.
+_OP_SLOT = {op: slot for slot, op in enumerate(OP_TYPES)}
+#: Zero template for resetting rate rows via slice assignment.
+_ZERO_RATES = (0.0, 0.0, 0.0, 0.0, 0.0)
 
 
 class SimulationError(RuntimeError):
@@ -67,6 +105,19 @@ class SimulatedRegion:
     read_rate: float = 0.0
     write_rate: float = 0.0
     scan_rate: float = 0.0
+
+    def __setattr__(self, name: str, value) -> None:
+        # Keep the owning simulator's node->regions index coherent even when
+        # callers assign ``region.node`` directly (placement plans and test
+        # fixtures do); regions created outside a simulator have no owner.
+        if name == "node":
+            old = getattr(self, "node", None)
+            object.__setattr__(self, name, value)
+            owner = getattr(self, "_owner", None)
+            if owner is not None and old != value:
+                owner._reindex_region(self, old, value)
+            return
+        object.__setattr__(self, name, value)
 
     @property
     def locality(self) -> float:
@@ -114,7 +165,12 @@ class ClusterSimulator:
         boot_seconds: float = DEFAULT_BOOT_SECONDS,
         restart_seconds: float = DEFAULT_RESTART_SECONDS,
         tick_seconds: float = 5.0,
+        kernel: str = KERNEL_FAST,
+        fixed_point_tolerance: float = DEFAULT_FIXED_POINT_TOLERANCE,
+        fixed_point_max_iterations: int = DEFAULT_FIXED_POINT_ITERATIONS,
     ) -> None:
+        if kernel not in (KERNEL_FAST, KERNEL_REFERENCE):
+            raise SimulationError(f"unknown kernel {kernel!r}")
         self.hardware = hardware or HardwareSpec()
         self.default_config = (default_config or DEFAULT_HOMOGENEOUS).validate()
         self.boot_seconds = boot_seconds
@@ -124,9 +180,30 @@ class ClusterSimulator:
         self.nodes: dict[str, SimulatedNode] = {}
         self.regions: dict[str, SimulatedRegion] = {}
         self.bindings: dict[str, WorkloadBinding] = {}
+        self.kernel = kernel
+        self.fixed_point_tolerance = fixed_point_tolerance
+        self.fixed_point_max_iterations = fixed_point_max_iterations
         self._node_counter = itertools.count(1)
+        self._region_seq = itertools.count()
         self._model_cache: dict[HardwareSpec, PerformanceModel] = {}
         self._binding_throughput: dict[str, float] = {}
+        #: Incremental node -> {region_id -> region} index (``None`` bucket
+        #: holds unassigned regions); kept coherent by SimulatedRegion's
+        #: ``node`` setter hook.
+        self._regions_by_node: dict[str | None, dict[str, SimulatedRegion]] = {}
+        #: Per-node memo of (key, NodeEvaluator); the key is (config,
+        #: hardware, assignment version) so config/assignment changes
+        #: invalidate explicitly while size/locality drift is refreshed.
+        self._node_evaluators: dict[str, tuple[object, NodeEvaluator]] = {}
+        #: Per-node counters bumped whenever a region enters/leaves a node.
+        self._assignment_versions: dict[str | None, int] = {}
+        #: Per-node (version, creation-ordered regions) cache for regions_on.
+        self._sorted_regions_cache: dict[str, tuple[int, list[SimulatedRegion]]] = {}
+        #: Regions whose rate fields were written last tick (cheap reset).
+        self._rated_regions: list[SimulatedRegion] = []
+        #: Bumped on attach/detach; invalidates the cached rate context.
+        self._workloads_version = 0
+        self._rate_context_cache: tuple[int, dict, list] | None = None
         self.total_ops = 0.0
 
     # ------------------------------------------------------------------ #
@@ -160,16 +237,26 @@ class ClusterSimulator:
     def remove_node(self, name: str, reassign: bool = True) -> None:
         """Remove a node, reassigning its regions to the least-loaded nodes."""
         node = self._node(name)
-        hosted = [r for r in self.regions.values() if r.node == name]
+        hosted = self.regions_on(name)
         del self.nodes[node.name]
         self.metrics.drop_entity(name)
+        self._node_evaluators.pop(name, None)
         if not reassign:
             for region in hosted:
                 region.node = None
+            self._regions_by_node.pop(name, None)
+            self._assignment_versions.pop(name, None)
+            self._sorted_regions_cache.pop(name, None)
             return
+        counts, candidates = self._drain_counts(exclude_name=name)
         for region in hosted:
-            target = self._least_loaded_online_node(exclude={name})
+            target = _pick_least_loaded(counts, candidates)
             region.node = target
+            if target is not None:
+                counts[target] += 1
+        self._regions_by_node.pop(name, None)
+        self._assignment_versions.pop(name, None)
+        self._sorted_regions_cache.pop(name, None)
         # Blocks stored on the removed node are re-replicated elsewhere over
         # time; approximate by dropping it from every region's block homes.
         for region in self.regions.values():
@@ -203,6 +290,10 @@ class ClusterSimulator:
             self._node(node)
             region.block_homes.add(node)
         self.regions[region_id] = region
+        region._seq = next(self._region_seq)
+        self._regions_by_node.setdefault(node, {})[region_id] = region
+        self._assignment_versions[node] = self._assignment_versions.get(node, 0) + 1
+        region._owner = self
         return region
 
     def move_region(self, region_id: str, node_name: str) -> None:
@@ -228,11 +319,14 @@ class ClusterSimulator:
         node = self._node(name)
         drained: list[str] = []
         if drain:
-            for region in self.regions.values():
-                if region.node == name:
-                    target = self._least_loaded_online_node(exclude={name})
+            hosted = self.regions_on(name)
+            if hosted:
+                counts, candidates = self._drain_counts(exclude_name=name)
+                for region in hosted:
+                    target = _pick_least_loaded(counts, candidates)
                     if target is not None:
                         region.node = target
+                        counts[target] += 1
                     drained.append(region.region_id)
         node.config = config.validate()
         if profile_name is not None:
@@ -251,8 +345,8 @@ class ClusterSimulator:
         node = self._node(name)
         bytes_to_rewrite = sum(
             region.size_bytes
-            for region in self.regions.values()
-            if region.node == name and region.locality < 1.0
+            for region in self.regions_on(name)
+            if region.locality < 1.0
         )
         node.pending_compaction_bytes += bytes_to_rewrite
         return bytes_to_rewrite
@@ -265,10 +359,16 @@ class ClusterSimulator:
         for region_id in binding.regions():
             self._region(region_id)
         self.bindings[binding.name] = binding
+        self._workloads_version += 1
 
     def detach_workload(self, name: str) -> None:
         """Remove a client population (e.g. a tenant leaving)."""
         self.bindings.pop(name, None)
+        # Drop the last achieved throughput too: a departed tenant must not
+        # linger in cluster_throughput(), and a later binding reusing the
+        # name must seed the fixed point fresh.
+        self._binding_throughput.pop(name, None)
+        self._workloads_version += 1
 
     def set_workload_active(self, name: str, active: bool) -> None:
         """Activate or deactivate a tenant without removing it."""
@@ -283,17 +383,34 @@ class ClusterSimulator:
         """Nodes currently serving requests."""
         return [node for node in self.nodes.values() if node.online]
 
+    def online_node_count(self) -> int:
+        """Number of nodes currently serving requests (no list allocation)."""
+        return sum(1 for node in self.nodes.values() if node.online)
+
     def regions_on(self, node_name: str) -> list[SimulatedRegion]:
-        """Regions currently assigned to ``node_name``."""
-        return [r for r in self.regions.values() if r.node == node_name]
+        """Regions currently assigned to ``node_name``.
+
+        Returned in global region-creation order (the order the seed's full
+        scan produced).  The fast kernel answers from the incremental index;
+        the reference kernel keeps the seed's O(regions) scan.
+        """
+        if self.kernel == KERNEL_REFERENCE:
+            return [r for r in self.regions.values() if r.node == node_name]
+        bucket = self._regions_by_node.get(node_name)
+        if not bucket:
+            return []
+        # The sorted order only changes when the bucket's membership does,
+        # which is exactly when the assignment version is bumped.
+        version = self._assignment_versions.get(node_name, 0)
+        cached = self._sorted_regions_cache.get(node_name)
+        if cached is None or cached[0] != version:
+            cached = (version, sorted(bucket.values(), key=_REGION_SEQ))
+            self._sorted_regions_cache[node_name] = cached
+        return list(cached[1])
 
     def node_locality_index(self, node_name: str) -> float:
         """Size-weighted locality of the regions hosted by a node."""
-        hosted = self.regions_on(node_name)
-        total = sum(r.size_bytes for r in hosted)
-        if total <= 0:
-            return 1.0
-        return sum(r.locality * r.size_bytes for r in hosted) / total
+        return _size_weighted_locality(self.regions_on(node_name))
 
     def assignment(self) -> dict[str, str | None]:
         """Mapping region id -> hosting node name."""
@@ -347,20 +464,45 @@ class ClusterSimulator:
             self._model_cache[node.hardware] = PerformanceModel(node.hardware)
         return self._model_cache[node.hardware]
 
-    def _least_loaded_online_node(self, exclude: set[str]) -> str | None:
-        candidates = [n for n in self.online_nodes() if n.name not in exclude]
+    def _reindex_region(
+        self, region: SimulatedRegion, old_node: str | None, new_node: str | None
+    ) -> None:
+        """Move a region between index buckets (called from the node setter)."""
+        bucket = self._regions_by_node.get(old_node)
+        if bucket is not None:
+            bucket.pop(region.region_id, None)
+        self._regions_by_node.setdefault(new_node, {})[region.region_id] = region
+        versions = self._assignment_versions
+        versions[old_node] = versions.get(old_node, 0) + 1
+        versions[new_node] = versions.get(new_node, 0) + 1
+
+    def _hosted_count(self, node_name: str) -> int:
+        bucket = self._regions_by_node.get(node_name)
+        return len(bucket) if bucket else 0
+
+    def _drain_counts(
+        self, exclude_name: str
+    ) -> tuple[dict[str, int], list[str]]:
+        """Per-candidate hosted-region counts for an incremental drain.
+
+        Replicates repeated ``_least_loaded_online_node`` calls: candidates
+        are the online nodes (falling back to any non-offline node), in node
+        insertion order, and the caller bumps a count after each placement
+        instead of rescanning every region per drained region.
+        """
+        candidates = [
+            node.name
+            for node in self.nodes.values()
+            if node.online and node.name != exclude_name
+        ]
         if not candidates:
             candidates = [
-                n
-                for n in self.nodes.values()
-                if n.name not in exclude and n.state != STATE_OFFLINE
+                node.name
+                for node in self.nodes.values()
+                if node.name != exclude_name and node.state != STATE_OFFLINE
             ]
-        if not candidates:
-            return None
-        counts = {
-            node.name: len(self.regions_on(node.name)) for node in candidates
-        }
-        return min(candidates, key=lambda node: counts[node.name]).name
+        counts = {name: self._hosted_count(name) for name in candidates}
+        return counts, candidates
 
     def _advance_node_states(self) -> None:
         for node in self.nodes.values():
@@ -385,6 +527,210 @@ class ClusterSimulator:
                     region.block_homes = {node.name}
         return background
 
+    # ------------------------------------------------------------------ #
+    # fixed-point solver -- shared entry point
+    # ------------------------------------------------------------------ #
+    def _solve_fixed_point(
+        self, compaction_bg: dict[str, float]
+    ) -> tuple[dict[str, float], dict[str, object], dict[str, dict[str, float]]]:
+        """Solve the closed-loop throughput fixed point for this tick.
+
+        Returns the per-binding *achieved* throughput, the per-node model
+        results and the per-region achieved rates.  Achieved throughput is
+        work-conserving: offered load on a node is clamped to the node's
+        capacity (utilisation 1.0).
+        """
+        if self.kernel == KERNEL_REFERENCE:
+            return self._solve_fixed_point_reference(compaction_bg)
+        return self._solve_fixed_point_fast(compaction_bg)
+
+    # ------------------------------------------------------------------ #
+    # fast kernel
+    # ------------------------------------------------------------------ #
+    def _tick_node_context(self) -> list[tuple[str, NodeEvaluator]]:
+        """Per-online-node memoised evaluators, refreshed for drift.
+
+        The memo is keyed on (config, hardware, assignment version); the
+        version is bumped whenever a region enters or leaves the node, so
+        config or assignment changes rebuild the evaluator while mere
+        size/locality drift is folded in with a cheap ``refresh``.
+        """
+        context = []
+        memo = self._node_evaluators
+        versions = self._assignment_versions
+        for node in self.nodes.values():
+            if not node.online:
+                continue
+            name = node.name
+            key = (node.config, node.hardware, versions.get(name, 0))
+            cached = memo.get(name)
+            hosted = self.regions_on(name)
+            if cached is not None and cached[0] == key:
+                evaluator = cached[1]
+                evaluator.refresh(hosted)
+            else:
+                evaluator = NodeEvaluator(self._model_for(node), node.config, hosted)
+                memo[name] = (key, evaluator)
+            context.append((name, evaluator))
+        return context
+
+    def _tick_rate_context(self):
+        """Slot-indexed offered-rate rows plus per-binding unit rates.
+
+        ``offered_loads(t)`` is linear in ``t``, so the per-region per-op
+        rates implied by a set of binding throughputs are ``t * unit``.
+        Rates live in one 5-slot list per region (``OP_TYPES`` order);
+        the whole structure is cached until a workload is attached or
+        detached, and only the floats change per iteration.
+        """
+        cached = self._rate_context_cache
+        if cached is not None and cached[0] == self._workloads_version:
+            return cached[1], cached[2]
+        rate_rows: dict[str, list[float]] = {}
+        contribs = []
+        op_index = _OP_SLOT
+        for name, binding in self.bindings.items():
+            entries = []
+            for region_id, units in binding.unit_rates():
+                row = rate_rows.get(region_id)
+                if row is None:
+                    row = rate_rows[region_id] = [0.0, 0.0, 0.0, 0.0, 0.0]
+                entries.append(
+                    (
+                        region_id,
+                        row,
+                        [(op, op_index[op], unit) for op, unit in units],
+                    )
+                )
+            contribs.append((name, entries))
+        self._rate_context_cache = (self._workloads_version, rate_rows, contribs)
+        return rate_rows, contribs
+
+    def _solve_fixed_point_fast(
+        self, compaction_bg: dict[str, float]
+    ) -> tuple[dict[str, float], dict[str, object], dict[str, dict[str, float]]]:
+        bindings = self.bindings
+        throughputs = {
+            name: self._binding_throughput.get(name, binding.threads * 50.0)
+            for name, binding in bindings.items()
+        }
+        rate_rows, contribs = self._tick_rate_context()
+        node_context = [
+            (
+                name,
+                evaluator,
+                [rate_rows.get(rid) for rid in evaluator.region_ids],
+                compaction_bg.get(name, 0.0),
+            )
+            for name, evaluator in self._tick_node_context()
+        ]
+        # Region -> hosting node is tick-constant; bindings aggregate
+        # latencies per *node* instead of per region.
+        region_node: dict[str, str] = {}
+        for name, evaluator, _, _ in node_context:
+            for region_id in evaluator.region_ids:
+                region_node[region_id] = name
+        binding_terms = {
+            name: (
+                [
+                    (weight, region_node.get(region_id))
+                    for region_id, weight in binding.region_weights.items()
+                ],
+                list(binding.op_mix.items()),
+            )
+            for name, binding in bindings.items()
+        }
+        rate_values = list(rate_rows.values())
+        node_latencies: dict[str, dict[str, float]] = {}
+
+        zeros = _ZERO_RATES
+
+        def fill_rates() -> None:
+            for row in rate_values:
+                row[:] = zeros
+            for name, entries in contribs:
+                throughput = throughputs[name]
+                for _, row, slot_units in entries:
+                    for _, slot, unit in slot_units:
+                        row[slot] += throughput * unit
+
+        def evaluate_latencies() -> None:
+            node_latencies.clear()
+            for name, evaluator, refs, background in node_context:
+                node_latencies[name] = evaluator.latencies(refs, background)
+
+        def binding_latency(terms, mix) -> float:
+            # Same math as WorkloadBinding.mean_latency: the per-region
+            # latency dict is the hosting node's, so the per-op mix dot
+            # product is computed once per node and reused per region.
+            cache: dict[str, float] = {}
+            total = 0.0
+            for weight, node_name in terms:
+                if node_name is None:
+                    # Region currently unavailable (node restarting):
+                    # requests block and retry, modelled as a large latency.
+                    total += weight * 500.0
+                    continue
+                mixed = cache.get(node_name)
+                if mixed is None:
+                    latencies = node_latencies[node_name]
+                    mixed = 0.0
+                    for op, fraction in mix:
+                        mixed += fraction * latencies.get(op, 1.0)
+                    cache[node_name] = mixed
+                total += weight * mixed
+            return total
+
+        if bindings:
+            tolerance = self.fixed_point_tolerance
+            for _ in range(self.fixed_point_max_iterations):
+                fill_rates()
+                evaluate_latencies()
+                converged = True
+                for name, binding in bindings.items():
+                    terms, mix = binding_terms[name]
+                    latency = binding_latency(terms, mix)
+                    target = binding.max_throughput(latency)
+                    previous = throughputs[name]
+                    updated = 0.5 * previous + 0.5 * target
+                    throughputs[name] = updated
+                    if abs(updated - previous) > tolerance * max(
+                        abs(previous), abs(updated), 1.0
+                    ):
+                        converged = False
+                if converged:
+                    break
+
+        fill_rates()
+        node_results: dict[str, object] = {}
+        node_scale: dict[str, float] = {}
+        for name, evaluator, refs, background in node_context:
+            result = evaluator.evaluate_rates(refs, background)
+            node_results[name] = result
+            node_scale[name] = (
+                1.0 if result.utilization <= 1.0 else 1.0 / result.utilization
+            )
+
+        achieved: dict[str, float] = {}
+        region_rates: dict[str, dict[str, float]] = {}
+        for name, entries in contribs:
+            throughput = throughputs[name]
+            total = 0.0
+            for region_id, _, slot_units in entries:
+                scale = node_scale.get(region_node.get(region_id), 0.0)
+                bucket = region_rates.setdefault(region_id, {})
+                load_total = 0.0
+                for op, _, unit in slot_units:
+                    rate = throughput * unit
+                    bucket[op] = bucket.get(op, 0.0) + rate * scale
+                    load_total += rate
+                total += load_total * scale
+            achieved[name] = total
+        return achieved, node_results, region_rates
+
+    # ------------------------------------------------------------------ #
+    # reference kernel (seed behaviour, used for benchmarks/equivalence)
+    # ------------------------------------------------------------------ #
     def _region_profiles(
         self, node: SimulatedNode, offered: dict[str, dict[str, float]]
     ) -> list[RegionLoadProfile]:
@@ -442,16 +788,9 @@ class ClusterSimulator:
                 region_scale[profile.region_id] = scale
         return node_results, region_latencies, region_scale
 
-    def _solve_fixed_point(
+    def _solve_fixed_point_reference(
         self, compaction_bg: dict[str, float], iterations: int = 10
     ) -> tuple[dict[str, float], dict[str, object], dict[str, dict[str, float]]]:
-        """Solve the closed-loop throughput fixed point for this tick.
-
-        Returns the per-binding *achieved* throughput, the per-node model
-        results and the per-region achieved rates.  Achieved throughput is
-        work-conserving: offered load on a node is clamped to the node's
-        capacity (utilisation 1.0).
-        """
         throughputs = {
             name: self._binding_throughput.get(name, binding.threads * 50.0)
             for name, binding in self.bindings.items()
@@ -493,42 +832,53 @@ class ClusterSimulator:
         region_rates: dict[str, dict[str, float]],
     ) -> None:
         now = self.clock.now + dt
-        # Reset per-region rates before accumulating this tick's load.
-        for region in self.regions.values():
-            region.read_rate = 0.0
-            region.write_rate = 0.0
-            region.scan_rate = 0.0
+        # Reset per-region rates before accumulating this tick's load; only
+        # regions rated last tick can hold stale values.  Counter updates go
+        # through __dict__ to skip the node-indexing __setattr__ hook (these
+        # fields never affect the index).
+        for region in self._rated_regions:
+            fields = region.__dict__
+            fields["read_rate"] = 0.0
+            fields["write_rate"] = 0.0
+            fields["scan_rate"] = 0.0
+        rated = self._rated_regions = []
 
+        samples: list[tuple[str, str, float]] = []
         total = 0.0
         for name in self.bindings:
             throughput = throughputs.get(name, 0.0)
             self._binding_throughput[name] = throughput
             total += throughput
-            self.metrics.record(f"workload:{name}", "throughput", now, throughput)
+            samples.append((f"workload:{name}", "throughput", throughput))
 
+        regions = self.regions
         for region_id, rates in region_rates.items():
-            region = self._region(region_id)
-            reads = rates.get("read", 0.0) + rates.get("read_modify_write", 0.0)
-            writes = (
-                rates.get("update", 0.0)
-                + rates.get("insert", 0.0)
-                + rates.get("read_modify_write", 0.0)
-            )
-            scans = rates.get("scan", 0.0)
-            region.reads += reads * dt
-            region.writes += writes * dt
-            region.scans += scans * dt
-            region.read_rate += reads
-            region.write_rate += writes
-            region.scan_rate += scans
-            region.size_bytes += rates.get("insert", 0.0) * dt * region.record_size
+            region = regions.get(region_id)
+            if region is None:
+                raise SimulationError(f"unknown region {region_id!r}")
+            rated.append(region)
+            get = rates.get
+            rmw = get("read_modify_write", 0.0)
+            reads = get("read", 0.0) + rmw
+            inserts = get("insert", 0.0)
+            writes = get("update", 0.0) + inserts + rmw
+            scans = get("scan", 0.0)
+            fields = region.__dict__
+            fields["reads"] += reads * dt
+            fields["writes"] += writes * dt
+            fields["scans"] += scans * dt
+            fields["read_rate"] += reads
+            fields["write_rate"] += writes
+            fields["scan_rate"] += scans
+            fields["size_bytes"] += inserts * dt * region.record_size
 
         self.total_ops += total * dt
-        self.metrics.record("cluster", "throughput", now, total)
-        self.metrics.record("cluster", "operations", now, total * dt)
-        self.metrics.record("cluster", "nodes", now, float(len(self.online_nodes())))
+        samples.append(("cluster", "throughput", total))
+        samples.append(("cluster", "operations", total * dt))
+        samples.append(("cluster", "nodes", float(self.online_node_count())))
 
         for node in self.nodes.values():
+            hosted = self.regions_on(node.name)
             result = node_results.get(node.name)
             if result is None:
                 node.cpu_utilization = 0.0
@@ -539,14 +889,39 @@ class ClusterSimulator:
                 node.cpu_utilization = min(1.0, result.cpu_utilization)
                 node.io_wait = min(1.0, result.io_wait)
                 node.memory_utilization = min(1.0, result.memory_utilization)
-                node.served_ops = sum(
-                    region.read_rate + region.write_rate + region.scan_rate
-                    for region in self.regions_on(node.name)
-                )
-            self.metrics.record(node.name, "cpu", now, node.cpu_utilization)
-            self.metrics.record(node.name, "io_wait", now, node.io_wait)
-            self.metrics.record(node.name, "memory", now, node.memory_utilization)
-            self.metrics.record(node.name, "requests", now, node.served_ops)
-            self.metrics.record(
-                node.name, "locality", now, self.node_locality_index(node.name)
-            )
+                served = 0.0
+                for region in hosted:
+                    served += region.read_rate + region.write_rate + region.scan_rate
+                node.served_ops = served
+            locality = _size_weighted_locality(hosted)
+            samples.append((node.name, "cpu", node.cpu_utilization))
+            samples.append((node.name, "io_wait", node.io_wait))
+            samples.append((node.name, "memory", node.memory_utilization))
+            samples.append((node.name, "requests", node.served_ops))
+            samples.append((node.name, "locality", locality))
+        self.metrics.record_many(now, samples)
+
+
+def _size_weighted_locality(hosted: list[SimulatedRegion]) -> float:
+    """Size-weighted locality of a hosted-region list (1.0 when empty)."""
+    total = 0.0
+    weighted = 0.0
+    for region in hosted:
+        size = region.size_bytes
+        total += size
+        weighted += region.locality * size
+    if total <= 0:
+        return 1.0
+    return weighted / total
+
+
+def _pick_least_loaded(counts: dict[str, int], candidates: list[str]) -> str | None:
+    """First candidate with the fewest hosted regions (stable, like min())."""
+    best: str | None = None
+    best_count = -1
+    for name in candidates:
+        count = counts[name]
+        if best is None or count < best_count:
+            best = name
+            best_count = count
+    return best

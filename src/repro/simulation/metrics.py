@@ -98,6 +98,28 @@ class MetricsRegistry:
         """Record one sample."""
         self.series(entity, metric).record(timestamp, value)
 
+    def record_many(
+        self, timestamp: float, samples: Iterable[tuple[str, str, float]]
+    ) -> None:
+        """Record many ``(entity, metric, value)`` samples at one timestamp.
+
+        Batch variant of :meth:`record` for the simulator's per-tick metric
+        flush: one pass, inlined appends, no per-sample method dispatch.
+        """
+        series_map = self._series
+        for entity, metric, value in samples:
+            key = (entity, metric)
+            series = series_map.get(key)
+            if series is None:
+                series = series_map[key] = MetricSeries(name=f"{entity}.{metric}")
+            timestamps = series.timestamps
+            if timestamps and timestamp < timestamps[-1]:
+                raise ValueError(
+                    f"samples must be appended in time order: {timestamp} < {timestamps[-1]}"
+                )
+            timestamps.append(timestamp)
+            series.values.append(float(value))
+
     def entities(self) -> list[str]:
         """Distinct entity names with at least one series."""
         return sorted({entity for entity, _ in self._series})

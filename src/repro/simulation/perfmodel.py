@@ -428,3 +428,315 @@ def _mean_locality(regions: list[RegionLoadProfile]) -> float:
     if total_rate <= 0:
         return 1.0
     return sum(r.locality * r.total_rate for r in regions) / total_rate
+
+
+class NodeEvaluator:
+    """Tick-constant evaluation context for one node.
+
+    :meth:`PerformanceModel.evaluate_node` recomputes every per-op unit cost
+    from scratch on each call, even though everything except the offered
+    rates -- hit-ratio inputs, write amplification, per-op unit costs keyed
+    on ``(config, region static fields)`` -- is constant for a whole tick.
+    ``NodeEvaluator`` hoists that static part out of the fixed-point loop:
+    it is built once per (config, hosted regions) combination, cheaply
+    :meth:`refresh`-ed when region sizes/localities drift between ticks,
+    and its per-iteration entry points only scale precomputed unit demands
+    by the current offered rates.
+
+    Rates enter as slot-indexed rows (``OP_TYPES`` order: read, update,
+    insert, scan, read_modify_write) so the hot loop never touches string
+    keys.  Results are numerically equivalent to ``evaluate_node`` (same
+    formulas, re-associated floating-point sums), which the kernel
+    equivalence regression test checks end-to-end.
+    """
+
+    #: Per-region unit-demand row layout (one list per region):
+    #: 0 read base cpu, 1-4 read miss-scaled (cpu, iops, bytes, net),
+    #: 5-8 write (cpu, iops, bytes, net), 9 scan base cpu, 10 scan base net,
+    #: 11-13 scan miss-scaled (iops, bytes, net), 14 hot bytes,
+    #: 15 cold bytes, 16 hot request fraction, 17 locality,
+    #: 18 size_bytes, 19 hot_data_fraction (18/19 support refresh()).
+    __slots__ = (
+        "hardware",
+        "config",
+        "region_ids",
+        "memory_utilization",
+        "_rows",
+        "_cache_eff_bytes",
+        "_amplification",
+        "_memstore_bytes",
+        "_block",
+        "_disk_ms",
+        "_write_ms",
+        "_blocks0",
+        "_scan_length0",
+        "_cpu_budget",
+        "_disk_iops_budget",
+        "_disk_bytes_budget",
+        "_network_bytes_budget",
+    )
+
+    def __init__(
+        self,
+        model: PerformanceModel,
+        config: RegionServerConfig,
+        regions: list,
+    ) -> None:
+        hw = model.hardware
+        self.hardware = hw
+        self.config = config
+        self._cache_eff_bytes = CACHE_EFFICIENCY * config.block_cache_bytes(hw.heap_bytes)
+        self._cpu_budget = hw.cpu_millis_per_second
+        self._disk_iops_budget = hw.disk_iops
+        self._disk_bytes_budget = hw.disk_mb_per_second * MB
+        self._network_bytes_budget = hw.network_mb_per_second * MB
+        self._amplification = model.write_amplification(config)
+        self._memstore_bytes = max(config.memstore_bytes(hw.heap_bytes), 1)
+        self._block = config.block_size_bytes
+
+        self.region_ids = [region.region_id for region in regions]
+        self._rows = [self._build_row(region) for region in regions]
+        self._recompute_memory_utilization()
+
+        # Latency statics (evaluate_node keys them on the first region).
+        record_size = regions[0].record_size if regions else 1024
+        scan_length = regions[0].scan_length if regions else 50
+        self._disk_ms = 1000.0 / hw.disk_iops
+        self._write_ms = CPU_WRITE_MS + CPU_RPC_OVERHEAD_MS + 0.2
+        self._blocks0 = max(1.0, scan_length * record_size / self._block) + 1.0
+        self._scan_length0 = scan_length
+
+    def _build_row(self, region) -> list[float]:
+        block = self._block
+        remote = max(0.0, 1.0 - region.locality)
+        scan_bytes = region.scan_length * region.record_size
+        blocks = max(1.0, scan_bytes / block) + 1.0
+        return [
+            # read path: cpu = base + miss * delta (hit == 1 - miss)
+            CPU_RPC_OVERHEAD_MS + CPU_READ_HIT_MS,
+            CPU_READ_MISS_MS - CPU_READ_HIT_MS,
+            1.0 + remote * REMOTE_READ_IOPS_FACTOR,
+            float(block),
+            remote * block,
+            # write path (fully static per unit rate)
+            CPU_RPC_OVERHEAD_MS
+            + CPU_WRITE_MS
+            + CPU_WRITE_COMPACTION_MS_PER_AMP * self._amplification,
+            region.record_size / self._memstore_bytes * 400.0,
+            region.record_size * self._amplification,
+            float(region.record_size),
+            # scan path
+            CPU_RPC_OVERHEAD_MS
+            + CPU_SCAN_SETUP_MS
+            + CPU_SCAN_PER_RECORD_MS * region.scan_length
+            + CPU_SCAN_PER_BLOCK_MS * blocks,
+            float(scan_bytes),
+            blocks * (1.0 + remote * REMOTE_READ_IOPS_FACTOR),
+            blocks * block,
+            remote * blocks * block,
+            # hit-ratio inputs
+            region.size_bytes * region.hot_data_fraction,
+            region.size_bytes * (1.0 - region.hot_data_fraction),
+            region.hot_request_fraction,
+            region.locality,
+            # refresh bookkeeping
+            region.size_bytes,
+            region.hot_data_fraction,
+        ]
+
+    def _recompute_memory_utilization(self) -> None:
+        # Memory utilisation only depends on tick-constant state.
+        hw = self.hardware
+        hosted_bytes = 0.0
+        for row in self._rows:
+            hosted_bytes += row[18]
+        cache_bytes = self.config.block_cache_bytes(hw.heap_bytes)
+        used = (
+            min(cache_bytes, hosted_bytes * 0.6)
+            + self._memstore_bytes * 0.5
+            + 0.6 * hw.heap_bytes * 0.2
+        )
+        self.memory_utilization = min(
+            1.0, (used + 0.5 * (hw.memory_bytes - hw.heap_bytes)) / hw.memory_bytes
+        )
+
+    def refresh(self, regions: list) -> None:
+        """Fold region size/locality drift into the precomputed rows.
+
+        Insert traffic grows ``size_bytes`` a little every tick and moves or
+        compactions flip ``locality``; both are folded in at O(changed
+        regions) cost so the evaluator memo survives across ticks.  The
+        other region fields (record size, scan length, skew fractions) are
+        immutable after region creation.
+        """
+        rows = self._rows
+        sizes_changed = False
+        for index, region in enumerate(regions):
+            row = rows[index]
+            if row[17] != region.locality:
+                sizes_changed = sizes_changed or row[18] != region.size_bytes
+                rows[index] = self._build_row(region)
+            elif row[18] != region.size_bytes:
+                size = region.size_bytes
+                hot_fraction = row[19]
+                row[14] = size * hot_fraction
+                row[15] = size * (1.0 - hot_fraction)
+                row[18] = size
+                sizes_changed = True
+        if sizes_changed:
+            self._recompute_memory_utilization()
+
+    def _demand_pass(
+        self, rate_rows: list, background_disk_bytes_per_s: float
+    ) -> tuple[float, float, float, float, float, float, float, float]:
+        """Fused single pass: hit-ratio inputs + demand accumulation.
+
+        ``rate_rows`` holds one slot-indexed rate list per hosted region
+        (``None`` for regions with no offered traffic).  Returns ``(hit,
+        miss, cpu, iops, disk_bytes, net, total_rate, weighted_locality)``.
+        """
+        hot = cold = read_rate_sum = hot_req = 0.0
+        cpu = iops = disk_bytes = net = 0.0
+        m_cpu = m_iops = m_bytes = m_net = 0.0
+        total_rate = weighted_locality = 0.0
+        for row, rates in zip(self._rows, rate_rows):
+            if rates is None:
+                continue
+            read, update, insert, scan, rmw = rates
+            rr = read + rmw + scan
+            if rr > 0.0:
+                hot += row[14]
+                cold += row[15]
+                read_rate_sum += rr
+                hot_req += row[16] * rr
+            read_like = read + rmw
+            if read_like:
+                cpu += read_like * row[0]
+                m_cpu += read_like * row[1]
+                m_iops += read_like * row[2]
+                m_bytes += read_like * row[3]
+                m_net += read_like * row[4]
+            write = update + insert + rmw
+            if write:
+                cpu += write * row[5]
+                iops += write * row[6]
+                disk_bytes += write * row[7]
+                net += write * row[8]
+            if scan:
+                cpu += scan * row[9]
+                net += scan * row[10]
+                m_iops += scan * row[11]
+                m_bytes += scan * row[12]
+                m_net += scan * row[13]
+            rate = read + update + insert + scan + rmw
+            if rate:
+                total_rate += rate
+                weighted_locality += row[17] * rate
+
+        if read_rate_sum > 0.0 and hot > 0.0:
+            cache = self._cache_eff_bytes
+            hot_requests = hot_req / read_rate_sum
+            hot_covered = min(1.0, cache / hot)
+            spare = max(0.0, cache - hot)
+            cold_covered = min(1.0, spare / cold) if cold > 0 else 1.0
+            hit = hot_requests * hot_covered + (1.0 - hot_requests) * cold_covered
+        else:
+            hit = 1.0
+        miss = 1.0 - hit
+        if miss < 0.0:
+            miss = 0.0
+
+        cpu += miss * m_cpu
+        iops += miss * m_iops
+        disk_bytes += miss * m_bytes + background_disk_bytes_per_s
+        net += miss * m_net
+        return hit, miss, cpu, iops, disk_bytes, net, total_rate, weighted_locality
+
+    def _latency_dict(
+        self, hit: float, miss: float, utilization: float, mean_locality: float
+    ) -> dict[str, float]:
+        rho = utilization / (1.0 + utilization)
+        inflation = 1.0 / (1.0 - min(rho, 0.97))
+        disk_ms = self._disk_ms
+        read_ms = (
+            CPU_READ_HIT_MS * hit
+            + miss * (CPU_READ_MISS_MS + disk_ms)
+            + CPU_RPC_OVERHEAD_MS
+        )
+        write_ms = self._write_ms
+        blocks = self._blocks0
+        scan_ms = (
+            CPU_SCAN_SETUP_MS
+            + CPU_SCAN_PER_RECORD_MS * self._scan_length0
+            + CPU_SCAN_PER_BLOCK_MS * blocks
+            + miss * blocks * disk_ms * 0.5
+        )
+        remote = 1.0 - mean_locality
+        read_ms *= 1.0 + remote * (REMOTE_READ_LATENCY_FACTOR - 1.0) * miss
+        scan_ms *= 1.0 + remote * (REMOTE_READ_LATENCY_FACTOR - 1.0) * miss
+        return {
+            "read": read_ms * inflation,
+            "update": write_ms * inflation,
+            "insert": write_ms * inflation,
+            "scan": scan_ms * inflation,
+            "read_modify_write": (read_ms + write_ms) * inflation,
+        }
+
+    def latencies(
+        self, rate_rows: list, background_disk_bytes_per_s: float = 0.0
+    ) -> dict[str, float]:
+        """Per-op latencies only -- the cheap inner fixed-point iteration.
+
+        Intermediate iterations need nothing but latencies, so this skips
+        allocating :class:`NodeLoadResult`/:class:`ServiceDemand` objects.
+        """
+        hit, miss, cpu, iops, disk_bytes, net, total_rate, weighted_locality = (
+            self._demand_pass(rate_rows, background_disk_bytes_per_s)
+        )
+        cpu_util = cpu / self._cpu_budget
+        io_wait = max(iops / self._disk_iops_budget, disk_bytes / self._disk_bytes_budget)
+        utilization = max(cpu_util, io_wait, net / self._network_bytes_budget)
+        mean_locality = weighted_locality / total_rate if total_rate > 0.0 else 1.0
+        return self._latency_dict(hit, miss, utilization, mean_locality)
+
+    def evaluate_rates(
+        self, rate_rows: list, background_disk_bytes_per_s: float = 0.0
+    ) -> NodeLoadResult:
+        """Full evaluation (equivalent to ``evaluate_node``) from rate rows."""
+        hit, miss, cpu, iops, disk_bytes, net, total_rate, weighted_locality = (
+            self._demand_pass(rate_rows, background_disk_bytes_per_s)
+        )
+        cpu_util = cpu / self._cpu_budget
+        iops_util = iops / self._disk_iops_budget
+        disk_bw_util = disk_bytes / self._disk_bytes_budget
+        io_wait = max(iops_util, disk_bw_util)
+        net_util = net / self._network_bytes_budget
+        utilization = max(cpu_util, io_wait, net_util)
+        mean_locality = weighted_locality / total_rate if total_rate > 0.0 else 1.0
+        return NodeLoadResult(
+            utilization=utilization,
+            cpu_utilization=cpu_util,
+            io_wait=io_wait,
+            memory_utilization=self.memory_utilization,
+            network_utilization=net_util,
+            demand=ServiceDemand(
+                cpu_millis=cpu,
+                disk_iops=iops,
+                disk_bytes=disk_bytes,
+                network_bytes=net,
+            ),
+            hit_ratio=hit,
+            per_op_latency_ms=self._latency_dict(hit, miss, utilization, mean_locality),
+        )
+
+    def evaluate(
+        self,
+        regions: list[RegionLoadProfile],
+        background_disk_bytes_per_s: float = 0.0,
+    ) -> NodeLoadResult:
+        """Evaluate from rate-carrying profiles (unit-test convenience)."""
+        rate_rows = [
+            [p.read_rate, p.update_rate, p.insert_rate, p.scan_rate, p.rmw_rate]
+            for p in regions
+        ]
+        return self.evaluate_rates(rate_rows, background_disk_bytes_per_s)

@@ -112,6 +112,27 @@ class WorkloadBinding:
             loads.append(OfferedLoad(region_id=region_id, rates=rates))
         return loads
 
+    def unit_rates(self) -> list[tuple[str, list[tuple[str, float]]]]:
+        """Per-region ``(op, rate)`` pairs at unit (1 op/s) throughput.
+
+        :meth:`offered_loads` is linear in the throughput, so the loads for
+        throughput ``t`` are exactly these rates scaled by ``t``.  The
+        simulator's fast kernel precomputes them once per tick and scales
+        them in place instead of rebuilding :class:`OfferedLoad` objects on
+        every fixed-point iteration.
+        """
+        return [
+            (
+                region_id,
+                [
+                    (op, weight * fraction)
+                    for op, fraction in self.op_mix.items()
+                    if fraction > 0
+                ],
+            )
+            for region_id, weight in self.region_weights.items()
+        ]
+
     def mean_latency(self, per_region_latency_ms: dict[str, dict[str, float]]) -> float:
         """Request-weighted mean latency over the binding's regions.
 

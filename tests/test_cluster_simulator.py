@@ -193,6 +193,17 @@ class TestWorkloads:
         simulator.detach_workload("tenant")
         assert "tenant" not in simulator.bindings
 
+    def test_detach_workload_clears_reported_throughput(self, simulator):
+        node = next(iter(simulator.nodes))
+        simulator.add_region("r1", "w", 1e8, node=node)
+        simulator.attach_workload(make_binding(["r1"]))
+        simulator.run(20.0)
+        assert simulator.cluster_throughput() > 0
+        simulator.detach_workload("tenant")
+        assert simulator.binding_throughput("tenant") == 0.0
+        simulator.tick()
+        assert simulator.cluster_throughput() == 0.0
+
 
 class TestCapacityBehaviour:
     def test_more_nodes_more_throughput_when_overloaded(self):

@@ -1,0 +1,169 @@
+"""Regression tests: the fast kernel matches the seed (reference) kernel.
+
+Runs a mixed multi-tenant YCSB scenario -- region moves, node
+reconfiguration, major compactions, node add/remove and tenant shutdown
+mid-run -- on both kernels and asserts the per-binding throughput series
+agree within 1e-6 relative tolerance.
+"""
+
+import math
+
+import pytest
+
+from repro.core.profiles import NODE_PROFILES
+from repro.hbase.config import DEFAULT_HOMOGENEOUS
+from repro.simulation.cluster import ClusterSimulator
+from repro.simulation.hardware import HardwareSpec, LARGE_NODE
+from repro.simulation.perfmodel import NodeEvaluator, PerformanceModel, RegionLoadProfile
+from repro.workloads.ycsb.scenario import build_paper_scenario
+
+#: Acceptance bound: optimized and seed kernels must agree to this relative
+#: tolerance on every sample of every per-binding throughput series.
+REL_TOL = 1e-6
+#: Absolute floor for samples damping towards zero after tenant shutdown.
+ABS_TOL = 1e-6
+
+
+def build_scenario(kernel: str) -> tuple[ClusterSimulator, list[str]]:
+    sim = ClusterSimulator(kernel=kernel, tick_seconds=5.0)
+    nodes = [sim.add_node() for _ in range(6)]
+    scenario = build_paper_scenario(sim)
+    for index, spec in enumerate(scenario.partitions):
+        node = nodes[index % len(nodes)]
+        region = sim.regions[spec.partition_id]
+        region.node = node
+        region.block_homes = {node}
+    return sim, nodes
+
+
+def drive(sim: ClusterSimulator, nodes: list[str]) -> dict[str, list[float]]:
+    """60 ticks with topology churn at fixed points; returns throughput series."""
+    first_region = next(iter(sim.regions))
+    events = {
+        4: lambda: sim.move_region(first_region, nodes[1]),
+        7: lambda: sim.major_compact(nodes[1]),
+        10: lambda: sim.reconfigure_node(
+            nodes[2], NODE_PROFILES["read"].config, profile_name="read"
+        ),
+        14: lambda: sim.add_node(name="rs-extra", online=False),
+        20: lambda: sim.set_workload_active("workload-E", False),
+        26: lambda: sim.remove_node(nodes[3]),
+        32: lambda: sim.reconfigure_node(
+            nodes[4], NODE_PROFILES["write"].config, drain=False
+        ),
+        40: lambda: sim.move_region(first_region, nodes[0]),
+    }
+    series: dict[str, list[float]] = {name: [] for name in sim.bindings}
+    for tick in range(60):
+        action = events.get(tick)
+        if action is not None:
+            action()
+        sim.tick()
+        for name in sim.bindings:
+            series[name].append(sim.binding_throughput(name))
+    return series
+
+
+class TestKernelEquivalence:
+    def test_mixed_scenario_throughput_series_match(self):
+        fast_sim, fast_nodes = build_scenario("fast")
+        reference_sim, reference_nodes = build_scenario("reference")
+        assert fast_nodes == reference_nodes
+
+        fast = drive(fast_sim, fast_nodes)
+        reference = drive(reference_sim, reference_nodes)
+
+        assert set(fast) == set(reference)
+        for name in reference:
+            for tick, (optimized, seed) in enumerate(zip(fast[name], reference[name])):
+                assert math.isclose(
+                    optimized, seed, rel_tol=REL_TOL, abs_tol=ABS_TOL
+                ), f"{name} diverged at tick {tick}: {optimized} vs {seed}"
+
+    def test_assignments_and_counters_match(self):
+        fast_sim, fast_nodes = build_scenario("fast")
+        reference_sim, reference_nodes = build_scenario("reference")
+        drive(fast_sim, fast_nodes)
+        drive(reference_sim, reference_nodes)
+
+        assert fast_sim.assignment() == reference_sim.assignment()
+        for region_id, reference_region in reference_sim.regions.items():
+            fast_region = fast_sim.regions[region_id]
+            assert fast_region.reads == pytest.approx(reference_region.reads, rel=REL_TOL)
+            assert fast_region.writes == pytest.approx(
+                reference_region.writes, rel=REL_TOL
+            )
+            assert fast_region.block_homes == reference_region.block_homes
+        assert fast_sim.total_ops == pytest.approx(reference_sim.total_ops, rel=REL_TOL)
+
+    def test_node_metrics_match(self):
+        fast_sim, fast_nodes = build_scenario("fast")
+        reference_sim, _ = build_scenario("reference")
+        drive(fast_sim, fast_nodes)
+        drive(reference_sim, fast_nodes)
+        for name, reference_node in reference_sim.nodes.items():
+            fast_node = fast_sim.nodes[name]
+            assert fast_node.cpu_utilization == pytest.approx(
+                reference_node.cpu_utilization, rel=1e-9, abs=1e-9
+            )
+            assert fast_node.io_wait == pytest.approx(
+                reference_node.io_wait, rel=1e-9, abs=1e-9
+            )
+            assert fast_node.served_ops == pytest.approx(
+                reference_node.served_ops, rel=REL_TOL, abs=ABS_TOL
+            )
+
+
+class TestNodeEvaluatorEquivalence:
+    """NodeEvaluator.evaluate must match PerformanceModel.evaluate_node."""
+
+    @pytest.mark.parametrize("hardware", [HardwareSpec(), LARGE_NODE])
+    @pytest.mark.parametrize(
+        "config",
+        [DEFAULT_HOMOGENEOUS, NODE_PROFILES["read"].config, NODE_PROFILES["scan"].config],
+    )
+    def test_matches_evaluate_node(self, hardware, config):
+        model = PerformanceModel(hardware)
+        profiles = [
+            RegionLoadProfile(
+                region_id="r1",
+                size_bytes=1.5e9,
+                read_rate=1200.0,
+                update_rate=300.0,
+                scan_rate=10.0,
+            ),
+            RegionLoadProfile(
+                region_id="r2",
+                size_bytes=4e8,
+                locality=0.05,
+                insert_rate=250.0,
+                rmw_rate=40.0,
+            ),
+            RegionLoadProfile(region_id="r3", size_bytes=9e8, scan_length=120),
+        ]
+        expected = model.evaluate_node(config, profiles, 2e6)
+        actual = NodeEvaluator(model, config, profiles).evaluate(profiles, 2e6)
+        assert actual.utilization == pytest.approx(expected.utilization, rel=1e-12)
+        assert actual.cpu_utilization == pytest.approx(expected.cpu_utilization, rel=1e-12)
+        assert actual.io_wait == pytest.approx(expected.io_wait, rel=1e-12)
+        assert actual.memory_utilization == pytest.approx(
+            expected.memory_utilization, rel=1e-12
+        )
+        assert actual.hit_ratio == pytest.approx(expected.hit_ratio, rel=1e-12)
+        for op, latency in expected.per_op_latency_ms.items():
+            assert actual.per_op_latency_ms[op] == pytest.approx(latency, rel=1e-12)
+
+    def test_refresh_tracks_size_and_locality_drift(self):
+        model = PerformanceModel(HardwareSpec())
+        profile = RegionLoadProfile(region_id="r", size_bytes=1e9, read_rate=500.0)
+        evaluator = NodeEvaluator(model, DEFAULT_HOMOGENEOUS, [profile])
+        profile.size_bytes = 2.5e9
+        profile.locality = 0.05
+        evaluator.refresh([profile])
+        expected = model.evaluate_node(DEFAULT_HOMOGENEOUS, [profile])
+        actual = evaluator.evaluate([profile])
+        assert actual.utilization == pytest.approx(expected.utilization, rel=1e-12)
+        assert actual.hit_ratio == pytest.approx(expected.hit_ratio, rel=1e-12)
+        assert actual.memory_utilization == pytest.approx(
+            expected.memory_utilization, rel=1e-12
+        )
