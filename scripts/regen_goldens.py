@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Regenerate the committed golden traces under tests/golden/.
+
+Run after an *intentional* behaviour change (new decision logic, retuned
+scenario, trace schema bump):
+
+    PYTHONPATH=src python scripts/regen_goldens.py
+
+then review the diff -- every changed number is a claim that the new
+behaviour is the correct one.  The golden test suite will fail loudly until
+regenerated goldens are committed alongside the change that moved them.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.scenarios import CANNED_SCENARIOS, scenario_trace, trace_to_json  # noqa: E402
+from repro.scenarios.trace import GOLDEN_CONTROLLERS, golden_name  # noqa: E402
+
+GOLDEN_DIR = REPO_ROOT / "tests" / "golden"
+
+
+def main() -> None:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for name, spec in sorted(CANNED_SCENARIOS.items()):
+        for controller in GOLDEN_CONTROLLERS:
+            path = GOLDEN_DIR / golden_name(name, controller)
+            payload = trace_to_json(scenario_trace(spec, controller, kernel="fast"))
+            changed = not path.exists() or path.read_text() != payload
+            path.write_text(payload)
+            print(f"{'updated ' if changed else 'unchanged'} {path.relative_to(REPO_ROOT)}")
+
+
+if __name__ == "__main__":
+    main()

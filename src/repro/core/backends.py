@@ -35,6 +35,12 @@ class SimulatorBackend:
         self._vm_ids: dict[str, str] = {}
         self._counter = itertools.count(1)
 
+    @property
+    def vm_ids(self) -> dict[str, str]:
+        """Live node-name -> provider-instance-id mapping (fault injection
+        shares it so crashing a provisioned node also fails its VM)."""
+        return self._vm_ids
+
     # ------------------------------------------------------------------ #
     # MetricsSource
     # ------------------------------------------------------------------ #

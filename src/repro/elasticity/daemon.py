@@ -13,6 +13,7 @@ from __future__ import annotations
 import random
 
 from repro.core.interfaces import ClusterBackend
+from repro.util.rng import make_rng
 
 
 class HBaseBalancerDaemon:
@@ -22,11 +23,11 @@ class HBaseBalancerDaemon:
         self,
         backend: ClusterBackend,
         period_seconds: float = 150.0,
-        seed: int = 0,
+        seed: int | random.Random = 0,
     ) -> None:
         self.backend = backend
         self.period_seconds = period_seconds
-        self._rng = random.Random(seed)
+        self._rng = make_rng(seed)
         self._last_run: float | None = None
         self.moves_performed = 0
 

@@ -5,6 +5,12 @@ YCSB (or TPC-C) scenario, an optional placement plan and an optional
 controller (MeT or tiramola), and runs the simulation while recording the
 series the figures need: per-minute throughput, cumulative operations and
 cluster size.
+
+:meth:`ExperimentHarness.run_for` optionally consumes an *event schedule*
+(see :mod:`repro.scenarios.schedule`): timed actions -- load-curve steps,
+tenant churn, fault injection -- fired against the simulator between ticks.
+Fired events that carry an annotation are recorded in the run, so a trace
+shows *why* the series changed shape at a given minute.
 """
 
 from __future__ import annotations
@@ -27,12 +33,22 @@ class TimeSeriesPoint:
 
 
 @dataclass
+class RunAnnotation:
+    """A scenario event that fired during the run, for traces and plots."""
+
+    minute: float
+    label: str
+    detail: str = ""
+
+
+@dataclass
 class StrategyRun:
     """Recorded outcome of one experiment run."""
 
     name: str
     series: list[TimeSeriesPoint] = field(default_factory=list)
     per_workload_throughput: dict[str, float] = field(default_factory=dict)
+    annotations: list[RunAnnotation] = field(default_factory=list)
     total_operations: float = 0.0
     final_nodes: int = 0
     machine_minutes: float = 0.0
@@ -102,13 +118,21 @@ class ExperimentHarness:
         """Register a controller whose ``step(now)`` is called every tick."""
         self._controllers.append(controller)
 
-    def run_for(self, seconds: float) -> StrategyRun:
-        """Advance the simulation by ``seconds``, sampling along the way."""
+    def run_for(self, seconds: float, schedule=None) -> StrategyRun:
+        """Advance the simulation by ``seconds``, sampling along the way.
+
+        When ``schedule`` (an :class:`~repro.scenarios.schedule.EventSchedule`)
+        is given, actions due at or before the current simulated time fire
+        *before* each tick, and annotated actions are recorded in
+        :attr:`StrategyRun.annotations`.
+        """
         simulator = self.simulator
         controllers = self._controllers
         tick_seconds = simulator.clock.tick_seconds
         remaining = seconds
         while remaining > 1e-9:
+            if schedule is not None:
+                self._fire_due(schedule)
             step = tick_seconds if tick_seconds < remaining else remaining
             simulator.tick(step)
             now = simulator.clock.now
@@ -120,8 +144,26 @@ class ExperimentHarness:
                 self._sample(now)
                 self._next_sample = now + self.sample_every_seconds
             remaining -= step
+        if schedule is not None:
+            # Events scheduled exactly at the end of the window still fire,
+            # so chained run_for calls see each event exactly once.
+            self._fire_due(schedule)
         self._finalise()
         return self.run
+
+    def _fire_due(self, schedule) -> None:
+        now = self.simulator.clock.now
+        for fired in schedule.fire_due(now):
+            if fired.annotate:
+                # Record the *scheduled* time: when ticks do not divide event
+                # times, the firing tick lags the event by up to one tick.
+                self.run.annotations.append(
+                    RunAnnotation(
+                        minute=fired.time_seconds / 60.0,
+                        label=fired.label,
+                        detail=fired.detail,
+                    )
+                )
 
     def _sample(self, now: float) -> None:
         self.run.series.append(

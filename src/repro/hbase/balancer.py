@@ -13,6 +13,8 @@ from __future__ import annotations
 import random
 from abc import ABC, abstractmethod
 
+from repro.util.rng import make_rng
+
 
 class Balancer(ABC):
     """Computes an assignment of regions to servers."""
@@ -30,8 +32,8 @@ class Balancer(ABC):
 class RandomBalancer(Balancer):
     """The default HBase placement: even region *counts*, random choice."""
 
-    def __init__(self, seed: int | None = None) -> None:
-        self._rng = random.Random(seed)
+    def __init__(self, seed: int | random.Random | None = None) -> None:
+        self._rng = make_rng(seed)
 
     def assign(
         self,
@@ -57,8 +59,8 @@ class RandomBalancer(Balancer):
 class StochasticLoadBalancer(Balancer):
     """A request-count-aware balancer (greedy least-loaded placement)."""
 
-    def __init__(self, seed: int | None = None) -> None:
-        self._rng = random.Random(seed)
+    def __init__(self, seed: int | random.Random | None = None) -> None:
+        self._rng = make_rng(seed)
 
     def assign(
         self,

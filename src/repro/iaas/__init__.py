@@ -7,12 +7,14 @@ This package models that provider: flavors, an instance inventory, quota and
 boot latency.
 """
 
+from repro.iaas.faults import FaultInjector
 from repro.iaas.flavors import FLAVORS, Flavor
 from repro.iaas.provider import IaaSError, OpenStackProvider, QuotaExceededError
 from repro.iaas.vm import VirtualMachine, VMState
 
 __all__ = [
     "FLAVORS",
+    "FaultInjector",
     "Flavor",
     "OpenStackProvider",
     "IaaSError",

@@ -1,0 +1,73 @@
+"""Fault injection through the IaaS layer.
+
+The paper's elasticity stack assumes the IaaS is the boundary where machines
+appear and disappear; faults belong at the same boundary.  A
+:class:`FaultInjector` crashes or degrades simulated nodes and keeps the VM
+inventory consistent: when a crashed node is backed by a provider instance,
+the instance is moved to ERROR so machine-hour accounting and quota reflect
+the failure.
+
+Target selection is deterministic: when no node is named, the victim is
+drawn from the *sorted* online-node list with the injector's seeded RNG, so
+scenario runs replay bit-identically from one seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from repro.iaas.provider import OpenStackProvider
+from repro.util.rng import make_rng
+
+if TYPE_CHECKING:  # keeps iaas a leaf package: no simulation import at runtime
+    from repro.simulation.cluster import ClusterSimulator
+
+
+class FaultInjector:
+    """Crash, slow down and recover nodes of a simulated cluster."""
+
+    def __init__(
+        self,
+        simulator: ClusterSimulator,
+        provider: OpenStackProvider | None = None,
+        vm_ids: dict[str, str] | None = None,
+        seed: int | random.Random | None = None,
+    ) -> None:
+        self.simulator = simulator
+        self.provider = provider
+        #: Node name -> provider instance id, for nodes backed by VMs.
+        self.vm_ids = vm_ids if vm_ids is not None else {}
+        self._rng = make_rng(seed if seed is not None else simulator.rng)
+        #: (time, kind, node) history of injected faults.
+        self.injected: list[tuple[float, str, str]] = []
+
+    def crash_node(self, node: str | None = None) -> str:
+        """Crash ``node`` (or a random online node); returns the victim."""
+        victim = self._pick(node)
+        instance_id = self.vm_ids.pop(victim, None)
+        if self.provider is not None and instance_id is not None:
+            self.provider.inject_fault(instance_id)
+        self.simulator.fail_node(victim)
+        self.injected.append((self.simulator.clock.now, "crash", victim))
+        return victim
+
+    def slow_node(self, node: str | None = None, factor: float = 0.5) -> str:
+        """Degrade ``node`` (or a random online node) to ``factor`` speed."""
+        victim = self._pick(node)
+        self.simulator.degrade_node(victim, factor)
+        self.injected.append((self.simulator.clock.now, "slow", victim))
+        return victim
+
+    def recover_node(self, node: str) -> None:
+        """Restore a previously degraded node to full speed."""
+        self.simulator.restore_node(node)
+        self.injected.append((self.simulator.clock.now, "recover", node))
+
+    def _pick(self, node: str | None) -> str:
+        if node is not None:
+            return node
+        online = sorted(n.name for n in self.simulator.online_nodes())
+        if not online:
+            raise RuntimeError("no online node to inject a fault into")
+        return online[self._rng.randrange(len(online))]

@@ -70,6 +70,20 @@ class OpenStackProvider:
         instance.state = VMState.DELETED
         instance.terminated_at = self.clock.now
 
+    def inject_fault(self, instance_id: str) -> None:
+        """Kill an instance ungracefully (hypervisor/host failure).
+
+        The instance transitions to ERROR instead of DELETED -- the state an
+        OpenStack instance shows after a host crash -- and stops accruing
+        uptime.  It no longer counts against the quota, but stays in the
+        inventory so experiments can report what failed and when.
+        """
+        instance = self._instance(instance_id)
+        if instance.state in (VMState.DELETED, VMState.ERROR):
+            return
+        instance.state = VMState.ERROR
+        instance.terminated_at = self.clock.now
+
     def describe(self, instance_id: str) -> VirtualMachine:
         """Return instance details after refreshing its state."""
         self.refresh()

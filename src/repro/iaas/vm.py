@@ -14,6 +14,7 @@ class VMState(enum.Enum):
     BUILDING = "building"
     ACTIVE = "active"
     SHUTOFF = "shutoff"
+    ERROR = "error"
     DELETED = "deleted"
 
 

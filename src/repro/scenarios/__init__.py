@@ -1,0 +1,66 @@
+"""Declarative time-varying workload scenarios with fault injection.
+
+The paper evaluates MeT against a static six-tenant mix and one ramp; this
+package generalises the evaluation surface: a :class:`ScenarioSpec` composes
+timed events -- diurnal and flash-crowd load curves, tenant churn, workload
+mix shifts, IaaS-level node faults, data-growth bursts -- which compile into
+an event schedule the experiment harness drives against the simulator and
+either controller.  Runs are bit-reproducible from the spec's seed, which is
+what makes the committed golden traces (``tests/golden/``) a regression
+gate for the whole controller stack.
+"""
+
+from repro.scenarios.catalog import CANNED_SCENARIOS, canned_scenario
+from repro.scenarios.context import ScenarioContext
+from repro.scenarios.events import (
+    DataGrowthBurst,
+    DiurnalLoad,
+    FlashCrowd,
+    MixShift,
+    NodeCrash,
+    NodeSlowdown,
+    TenantArrival,
+    TenantDeparture,
+)
+from repro.scenarios.runner import (
+    CONTROLLERS,
+    ScenarioRunResult,
+    build_scenario,
+    run_scenario,
+)
+from repro.scenarios.schedule import EventSchedule, ScheduledAction, compile_spec
+from repro.scenarios.spec import ScenarioSpec, TenantSpec, binding_name
+from repro.scenarios.trace import (
+    diff_traces,
+    result_trace,
+    scenario_trace,
+    trace_to_json,
+)
+
+__all__ = [
+    "CANNED_SCENARIOS",
+    "CONTROLLERS",
+    "DataGrowthBurst",
+    "DiurnalLoad",
+    "EventSchedule",
+    "FlashCrowd",
+    "MixShift",
+    "NodeCrash",
+    "NodeSlowdown",
+    "ScenarioContext",
+    "ScenarioRunResult",
+    "ScenarioSpec",
+    "ScheduledAction",
+    "TenantArrival",
+    "TenantDeparture",
+    "TenantSpec",
+    "binding_name",
+    "build_scenario",
+    "canned_scenario",
+    "compile_spec",
+    "diff_traces",
+    "result_trace",
+    "run_scenario",
+    "scenario_trace",
+    "trace_to_json",
+]

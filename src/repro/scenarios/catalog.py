@@ -1,0 +1,165 @@
+"""The canned scenario catalog.
+
+Reduced-scale but qualitatively faithful scenarios, one per stimulus family,
+used by the golden-trace regression suite and the example gallery.  Each
+runs a 3-node cluster of the weak Section 6.4 VMs for ~10 simulated minutes
+with two or three small tenants, so a full catalog sweep under both
+controllers stays inside the tier-1 time budget.
+
+The catalog is deliberately data-only: tweaking a scenario means editing a
+spec here and regenerating the goldens with ``scripts/regen_goldens.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.scenarios.events import (
+    DataGrowthBurst,
+    DiurnalLoad,
+    FlashCrowd,
+    MixShift,
+    NodeCrash,
+    NodeSlowdown,
+    TenantArrival,
+    TenantDeparture,
+)
+from repro.scenarios.spec import ScenarioSpec, TenantSpec
+from repro.workloads.ycsb.workloads import CORE_WORKLOADS
+
+#: Reduced-scale copies of the paper workloads: fewer client threads and a
+#: smaller key space, so three weak VMs are the right starting size.
+SMALL_A = replace(CORE_WORKLOADS["A"], threads=25, record_count=200_000, partitions=2)
+SMALL_B = replace(CORE_WORKLOADS["B"], threads=25, record_count=200_000, partitions=2)
+SMALL_C = replace(CORE_WORKLOADS["C"], threads=25, record_count=200_000, partitions=2)
+SMALL_D = replace(
+    CORE_WORKLOADS["D"], threads=5, record_count=50_000, partitions=1,
+    target_ops_per_second=None,
+)
+SMALL_E = replace(CORE_WORKLOADS["E"], threads=10, record_count=200_000, partitions=2)
+
+
+def _base(name: str, tenants, events, minutes: float = 10.0, **overrides) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=name,
+        tenants=tuple(tenants),
+        events=tuple(events),
+        duration_minutes=minutes,
+        initial_nodes=3,
+        max_nodes=6,
+        **overrides,
+    )
+
+
+def diurnal_scenario() -> ScenarioSpec:
+    """Two tenants on phase-shifted day/night curves (peaks never align)."""
+    return _base(
+        "diurnal",
+        [TenantSpec(SMALL_A, target_ops=2600.0), TenantSpec(SMALL_C, target_ops=3200.0)],
+        [
+            DiurnalLoad(tenant="A", period_minutes=8.0, amplitude=0.6),
+            DiurnalLoad(tenant="C", period_minutes=8.0, amplitude=0.6, phase_minutes=4.0),
+        ],
+        minutes=12.0,
+        description="Sinusoidal load with tenant peaks 180 degrees apart.",
+    )
+
+
+def flash_crowd_scenario() -> ScenarioSpec:
+    """A read-mostly tenant gets slashdotted three minutes in."""
+    return _base(
+        "flash_crowd",
+        [TenantSpec(SMALL_A, target_ops=2400.0), TenantSpec(SMALL_C, target_ops=2800.0)],
+        [
+            FlashCrowd(
+                tenant="C", start_minute=3.0, ramp_minutes=1.0,
+                hold_minutes=3.0, decay_minutes=1.0, magnitude=3.0,
+            ),
+        ],
+        minutes=10.0,
+        description="3x read spike on tenant C: ramp 1m, hold 3m, decay 1m.",
+    )
+
+
+def tenant_churn_scenario() -> ScenarioSpec:
+    """A scan-heavy tenant arrives mid-run and leaves again."""
+    return _base(
+        "tenant_churn",
+        [TenantSpec(SMALL_A, target_ops=2400.0), TenantSpec(SMALL_C, target_ops=2800.0)],
+        [
+            TenantArrival(minute=2.5, workload=SMALL_E, target_ops=260.0),
+            TenantDeparture(minute=7.5, tenant="E"),
+        ],
+        minutes=10.0,
+        description="Scan tenant E arrives at minute 2.5 and departs at 7.5.",
+    )
+
+
+def mix_shift_scenario() -> ScenarioSpec:
+    """Tenant A morphs from 50/50 read-update into all-update (YCSB-B style)."""
+    return _base(
+        "mix_shift",
+        [TenantSpec(SMALL_A, target_ops=4000.0), TenantSpec(SMALL_C, target_ops=3000.0)],
+        [
+            MixShift(
+                tenant="A", start_minute=2.0, end_minute=6.0,
+                to_mix=(("update", 1.0),),
+            ),
+        ],
+        minutes=10.0,
+        description="A's op mix interpolates to 100% update over minutes 2-6.",
+    )
+
+
+def node_fault_scenario() -> ScenarioSpec:
+    """One node crashes; later another degrades to half speed and recovers."""
+    return _base(
+        "node_fault",
+        [TenantSpec(SMALL_A, target_ops=2200.0), TenantSpec(SMALL_C, target_ops=2600.0)],
+        [
+            NodeCrash(minute=2.5),
+            NodeSlowdown(minute=6.0, factor=0.5, duration_minutes=2.5),
+        ],
+        minutes=11.0,
+        description="Random node crash at 2.5m; straggler from 6m to 8.5m.",
+    )
+
+
+def data_growth_scenario() -> ScenarioSpec:
+    """An insert-mostly tenant's dataset quadruples over four minutes."""
+    return _base(
+        "data_growth",
+        [TenantSpec(SMALL_D, target_ops=900.0), TenantSpec(SMALL_C, target_ops=2800.0)],
+        [
+            DataGrowthBurst(
+                tenant="D", start_minute=2.0, duration_minutes=4.0, growth_factor=4.0,
+            ),
+        ],
+        minutes=10.0,
+        description="Tenant D's partitions grow 4x between minutes 2 and 6.",
+    )
+
+
+#: Every canned scenario, keyed by name.  The golden-trace suite runs each
+#: under both controllers; each stimulus family appears at least once.
+CANNED_SCENARIOS: dict[str, ScenarioSpec] = {
+    spec.name: spec
+    for spec in (
+        diurnal_scenario(),
+        flash_crowd_scenario(),
+        tenant_churn_scenario(),
+        mix_shift_scenario(),
+        node_fault_scenario(),
+        data_growth_scenario(),
+    )
+}
+
+
+def canned_scenario(name: str) -> ScenarioSpec:
+    """Look up a canned scenario by name."""
+    try:
+        return CANNED_SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {sorted(CANNED_SCENARIOS)}"
+        ) from None

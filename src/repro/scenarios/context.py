@@ -1,0 +1,163 @@
+"""Runtime context compiled scenario actions execute against.
+
+The context owns the pieces a scenario event needs to touch: the simulator,
+the IaaS provider (for fault accounting), the fault injector, the per-tenant
+baseline throughput targets and the composite load multipliers.  Several
+load-shaping events can target the same tenant at once (a flash crowd on top
+of a diurnal curve); each contributes one keyed multiplier and the tenant's
+live target is ``baseline * product(multipliers)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.hbase.balancer import RandomBalancer
+from repro.iaas.faults import FaultInjector
+from repro.iaas.provider import OpenStackProvider
+from repro.scenarios.spec import binding_name
+from repro.simulation.cluster import ClusterSimulator
+from repro.workloads.ycsb.scenario import binding_for
+from repro.workloads.ycsb.workloads import YCSBWorkload, partition_specs
+
+
+class ScenarioContext:
+    """Mutable run state shared by every compiled scenario action."""
+
+    def __init__(
+        self,
+        simulator: ClusterSimulator,
+        provider: OpenStackProvider | None = None,
+        vm_ids: dict[str, str] | None = None,
+    ) -> None:
+        self.simulator = simulator
+        self.provider = provider
+        self.rng = simulator.rng
+        self.faults = FaultInjector(
+            simulator, provider=provider, vm_ids=vm_ids, seed=self.rng
+        )
+        #: Tenant -> baseline target (None = uncapped; modulated as nominal).
+        self._baselines: dict[str, float | None] = {}
+        #: Tenant -> nominal throughput estimate, the modulation base when
+        #: the tenant has no explicit cap.
+        self._nominals: dict[str, float] = {}
+        #: Tenant -> {event key -> multiplier}.
+        self._multipliers: dict[str, dict[str, float]] = {}
+
+    # ------------------------------------------------------------------ #
+    # tenants
+    # ------------------------------------------------------------------ #
+    def register_tenant(self, workload: YCSBWorkload) -> None:
+        """Record modulation baselines for a tenant already in the simulator."""
+        self._baselines[workload.name] = workload.target_ops_per_second
+        self._nominals[workload.name] = workload.nominal_ops_per_second
+
+    def add_tenant(self, workload: YCSBWorkload, target_ops: float | None) -> str:
+        """A tenant arrives: create its partitions, place them, attach clients.
+
+        Placement uses HBase's random balancer (what a freshly created table
+        gets) seeded from the run's RNG; the new partitions start local to
+        their nodes, as freshly loaded data would.
+        """
+        simulator = self.simulator
+        configured = replace(workload, target_ops_per_second=target_ops)
+        specs = partition_specs(configured)
+        online = sorted(node.name for node in simulator.online_nodes())
+        placement = RandomBalancer(seed=self.rng).assign(
+            [spec.partition_id for spec in specs], online
+        )
+        for spec in specs:
+            simulator.add_region(
+                region_id=spec.partition_id,
+                workload=binding_name(configured.name),
+                size_bytes=spec.size_bytes,
+                node=placement[spec.partition_id],
+                record_size=configured.record_size,
+                scan_length=configured.scan_length,
+            )
+        simulator.attach_workload(binding_for(configured))
+        self.register_tenant(configured)
+        return f"partitions={len(specs)} nodes={len(online)}"
+
+    def remove_tenant(self, tenant: str) -> str:
+        """A tenant departs: detach its clients (its data stays, as in HBase)."""
+        name = binding_name(tenant)
+        self.simulator.detach_workload(name)
+        self._baselines.pop(tenant, None)
+        self._nominals.pop(tenant, None)
+        self._multipliers.pop(tenant, None)
+        return f"detached {name}"
+
+    # ------------------------------------------------------------------ #
+    # load shaping
+    # ------------------------------------------------------------------ #
+    def set_load_multiplier(self, tenant: str, key: str, multiplier: float) -> str:
+        """Set one event's load multiplier and apply the composite target."""
+        if tenant not in self._baselines:
+            # Tenant departed mid-curve: the remaining steps are no-ops.
+            return "tenant gone"
+        self._multipliers.setdefault(tenant, {})[key] = multiplier
+        return self._apply_target(tenant)
+
+    def clear_load_multiplier(self, tenant: str, key: str) -> str:
+        """Remove one event's multiplier (end of a flash crowd, ...)."""
+        if tenant not in self._baselines:
+            return "tenant gone"
+        self._multipliers.get(tenant, {}).pop(key, None)
+        return self._apply_target(tenant)
+
+    def _apply_target(self, tenant: str) -> str:
+        baseline = self._baselines[tenant]
+        multipliers = self._multipliers.get(tenant, {})
+        if baseline is None and not multipliers:
+            # Every curve cleared: an uncapped tenant returns to uncapped
+            # instead of staying pinned at its nominal estimate.
+            self.simulator.update_workload(
+                binding_name(tenant), target_ops_per_second=None
+            )
+            return "target=uncapped"
+        base = baseline if baseline is not None else self._nominals[tenant]
+        product = 1.0
+        for value in multipliers.values():
+            product *= value
+        target = base * product
+        self.simulator.update_workload(
+            binding_name(tenant), target_ops_per_second=target
+        )
+        return f"target={target:.1f}"
+
+    def set_mix(self, tenant: str, op_mix: dict[str, float]) -> str:
+        """Replace a tenant's operation mix (one mix-shift interpolation step)."""
+        if binding_name(tenant) not in self.simulator.bindings:
+            return "tenant gone"
+        self.simulator.update_workload(binding_name(tenant), op_mix=op_mix)
+        mix = " ".join(f"{op}={share:.2f}" for op, share in sorted(op_mix.items()))
+        return mix
+
+    def grow_tenant_data(self, tenant: str, factor: float) -> str:
+        """Multiply the size of every partition of a tenant (growth burst)."""
+        name = binding_name(tenant)
+        grown = 0
+        for region in self.simulator.regions.values():
+            if region.workload == name:
+                region.size_bytes *= factor
+                grown += 1
+        return f"x{factor:.4f} over {grown} partitions"
+
+    # ------------------------------------------------------------------ #
+    # faults
+    # ------------------------------------------------------------------ #
+    def crash_node(self, node: str | None = None) -> str:
+        """Crash a node through the fault injector."""
+        victim = self.faults.crash_node(node)
+        return victim
+
+    def slow_node(self, node: str | None, factor: float) -> str:
+        """Degrade a node through the fault injector."""
+        victim = self.faults.slow_node(node, factor)
+        return f"{victim} factor={factor}"
+
+    def recover_node(self, node: str) -> str:
+        """Restore a degraded node."""
+        self.faults.recover_node(node)
+        return node

@@ -1,0 +1,180 @@
+"""Running a scenario spec against the simulator and a controller.
+
+``run_scenario`` builds the cluster, tenants and initial placement, compiles
+the spec's events into a schedule, wires up the requested controller (MeT,
+tiramola, or none) and drives the experiment harness to the end of the
+scenario.  The returned result carries everything the golden-trace
+serialiser needs: the time series, the fired-event annotations, and the
+controller's decision log in a controller-agnostic shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.framework import MeT
+from repro.core.parameters import MeTParameters
+from repro.elasticity.daemon import HBaseBalancerDaemon
+from repro.elasticity.strategies import manual_homogeneous
+from repro.elasticity.tiramola import Tiramola, TiramolaPolicy
+from repro.experiments.harness import (
+    ExperimentHarness,
+    StrategyRun,
+    apply_placement,
+    make_backend,
+)
+from repro.iaas.provider import OpenStackProvider
+from repro.scenarios.context import ScenarioContext
+from repro.scenarios.schedule import compile_spec
+from repro.scenarios.spec import ScenarioSpec
+from repro.simulation.cluster import ClusterSimulator
+from repro.simulation.hardware import HardwareSpec
+from repro.workloads.ycsb.scenario import build_paper_scenario
+
+#: Controllers a scenario can run under.
+CONTROLLERS = ("none", "met", "tiramola")
+
+#: Default scenario hardware: the weak elasticity-experiment VMs of
+#: Section 6.4, so reduced-scale scenarios still saturate a few nodes.
+SCENARIO_HARDWARE = HardwareSpec(
+    cpu_millis_per_second=2000.0,
+    disk_iops=140.0,
+    disk_mb_per_second=90.0,
+    network_mb_per_second=110.0,
+    memory_bytes=3 * 1024 * 1024 * 1024,
+    heap_bytes=int(2.2 * 1024 * 1024 * 1024),
+)
+
+
+@dataclass
+class ScenarioRunResult:
+    """Everything observed while running one scenario under one controller."""
+
+    spec: ScenarioSpec
+    controller: str
+    kernel: str
+    run: StrategyRun
+    decisions: list[dict] = field(default_factory=list)
+    simulator: ClusterSimulator | None = None
+    context: ScenarioContext | None = None
+    machine_hours: float = 0.0
+
+    @property
+    def final_nodes(self) -> int:
+        """Online nodes at the end of the run."""
+        return self.run.final_nodes
+
+
+def build_scenario(
+    spec: ScenarioSpec, kernel: str = "fast"
+) -> tuple[ClusterSimulator, OpenStackProvider, ScenarioContext, list[str]]:
+    """Materialise the spec's cluster and initial tenants (no controller yet)."""
+    simulator = ClusterSimulator(
+        hardware=spec.hardware or SCENARIO_HARDWARE,
+        tick_seconds=spec.tick_seconds,
+        kernel=kernel,
+        seed=spec.seed,
+    )
+    provider = OpenStackProvider(simulator.clock, boot_seconds=simulator.boot_seconds)
+    nodes = [simulator.add_node() for _ in range(spec.initial_nodes)]
+    scenario = build_paper_scenario(simulator, workloads=spec.workloads())
+    plan = manual_homogeneous(scenario.expected_partition_workloads(), nodes)
+    apply_placement(simulator, plan)
+    context = ScenarioContext(simulator, provider=provider)
+    for tenant in spec.tenants:
+        context.register_tenant(tenant.configured_workload())
+    return simulator, provider, context, nodes
+
+
+def _make_controller(
+    name: str,
+    spec: ScenarioSpec,
+    backend,
+    simulator: ClusterSimulator,
+) -> tuple[object | None, list]:
+    """Build the controller (and any sidecar daemons) for a run."""
+    if name == "none":
+        return None, []
+    if name == "met":
+        parameters = MeTParameters(
+            min_nodes=1,
+            max_nodes=spec.max_nodes,
+            monitor_period_seconds=spec.monitor_period_seconds,
+            decision_samples=spec.decision_samples,
+            cooldown_seconds=spec.cooldown_seconds,
+            allow_remove=True,
+        )
+        return MeT(backend, parameters), []
+    if name == "tiramola":
+        policy = TiramolaPolicy(
+            min_nodes=1,
+            max_nodes=spec.max_nodes,
+            monitor_period_seconds=spec.monitor_period_seconds,
+            decision_samples=spec.decision_samples,
+            cooldown_seconds=spec.cooldown_seconds,
+        )
+        # Tiramola leaves placement to HBase's balancer; the daemon shares
+        # the run's single RNG so the whole run replays from one seed.
+        daemon = HBaseBalancerDaemon(backend, seed=simulator.rng)
+        return Tiramola(backend, policy), [daemon]
+    raise ValueError(f"unknown controller {name!r}; expected one of {CONTROLLERS}")
+
+
+def _normalise_decisions(name: str, controller) -> list[dict]:
+    """Controller event log in a controller-agnostic, JSON-able shape."""
+    if controller is None:
+        return []
+    if name == "met":
+        return [
+            {
+                "minute": event.timestamp / 60.0,
+                "kind": event.kind,
+                "detail": event.detail,
+            }
+            for event in controller.status.events
+        ]
+    return [
+        {
+            "minute": event.timestamp / 60.0,
+            "kind": event.action.value,
+            "detail": " ".join(
+                part for part in (event.node or "", event.detail) if part
+            ),
+        }
+        for event in controller.log.events
+    ]
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    controller: str = "none",
+    kernel: str = "fast",
+    sample_every_seconds: float = 60.0,
+    keep_simulator: bool = True,
+) -> ScenarioRunResult:
+    """Run ``spec`` under ``controller`` and return the recorded result."""
+    simulator, provider, context, _ = build_scenario(spec, kernel=kernel)
+    backend = make_backend(simulator, provider=provider)
+    context.faults.vm_ids = backend.vm_ids
+    instance, daemons = _make_controller(controller, spec, backend, simulator)
+    harness = ExperimentHarness(
+        simulator,
+        name=f"{spec.name}:{controller}",
+        sample_every_seconds=sample_every_seconds,
+    )
+    if instance is not None:
+        harness.add_controller(instance)
+    for daemon in daemons:
+        harness.add_controller(daemon)
+    schedule = compile_spec(spec, context)
+    run = harness.run_for(spec.duration_seconds, schedule=schedule)
+    return ScenarioRunResult(
+        spec=spec,
+        controller=controller,
+        kernel=kernel,
+        run=run,
+        decisions=_normalise_decisions(controller, instance),
+        simulator=simulator if keep_simulator else None,
+        context=context if keep_simulator else None,
+        machine_hours=provider.machine_hours(),
+    )

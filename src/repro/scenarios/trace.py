@@ -1,0 +1,152 @@
+"""Golden-trace serialisation and comparison.
+
+A *trace* is the canonical JSON-able record of one scenario run: metadata,
+the sampled time series (throughput / cumulative ops / node count), the
+scenario-event annotations, the controller's decision log and the end-state
+summary.  Traces serve two purposes:
+
+* **regression goldens** -- committed under ``tests/golden/`` and diffed on
+  every test run, locking down the end-to-end behaviour of the whole
+  controller stack (simulator, monitor, decision maker, actuator, IaaS);
+* **kernel equivalence** -- the fast and reference kernels must produce
+  traces that agree within 1e-6 relative tolerance on every scenario.
+
+Serialisation is canonical (sorted keys, fixed float rounding), so two
+identical-seed runs produce byte-identical files.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.scenarios.runner import ScenarioRunResult, run_scenario
+from repro.scenarios.spec import ScenarioSpec
+
+#: Trace schema version; bump when the shape changes and regenerate goldens.
+TRACE_FORMAT = 1
+
+#: Controllers every canned scenario is goldened under.
+GOLDEN_CONTROLLERS = ("met", "tiramola")
+
+
+def golden_name(scenario: str, controller: str) -> str:
+    """File name of the committed golden for one scenario/controller pair."""
+    return f"{scenario}__{controller}.json"
+
+#: Decimal places kept for floats in a trace.  Coarse enough that canonical
+#: JSON is stable and readable, fine enough (micro-op/s on kilo-op/s series)
+#: that a 1e-6 relative kernel divergence is still visible.
+FLOAT_DECIMALS = 6
+
+
+def _round(value: float) -> float:
+    """Canonical float rounding for traces (also kills -0.0)."""
+    rounded = round(value, FLOAT_DECIMALS)
+    return 0.0 if rounded == 0 else rounded
+
+
+def result_trace(result: ScenarioRunResult) -> dict:
+    """The canonical trace dict of a finished scenario run."""
+    run = result.run
+    return {
+        "format": TRACE_FORMAT,
+        "scenario": result.spec.name,
+        "seed": result.spec.seed,
+        "controller": result.controller,
+        "kernel": result.kernel,
+        "duration_minutes": _round(result.spec.duration_minutes),
+        "series": [
+            {
+                "minute": _round(point.minute),
+                "throughput": _round(point.throughput),
+                "cumulative_ops": _round(point.cumulative_ops),
+                "nodes": point.nodes,
+            }
+            for point in run.series
+        ],
+        "annotations": [
+            {
+                "minute": _round(annotation.minute),
+                "label": annotation.label,
+                "detail": annotation.detail,
+            }
+            for annotation in run.annotations
+        ],
+        "decisions": [
+            {
+                "minute": _round(decision["minute"]),
+                "kind": decision["kind"],
+                "detail": decision["detail"],
+            }
+            for decision in result.decisions
+        ],
+        "per_tenant_throughput": {
+            name: _round(value)
+            for name, value in sorted(run.per_workload_throughput.items())
+        },
+        "total_operations": _round(run.total_operations),
+        "final_nodes": run.final_nodes,
+        "machine_minutes": _round(run.machine_minutes),
+    }
+
+
+def scenario_trace(
+    spec: ScenarioSpec, controller: str = "met", kernel: str = "fast"
+) -> dict:
+    """Run ``spec`` and return its trace."""
+    result = run_scenario(spec, controller=controller, kernel=kernel, keep_simulator=False)
+    return result_trace(result)
+
+
+def trace_to_json(trace: dict) -> str:
+    """Canonical serialisation: byte-identical for identical runs."""
+    return json.dumps(trace, indent=1, sort_keys=True) + "\n"
+
+
+def diff_traces(
+    golden: dict,
+    observed: dict,
+    rel_tol: float = 1e-9,
+    abs_tol: float = 1e-9,
+) -> list[str]:
+    """Differences between two traces, as human-readable paths.
+
+    Floats compare with tolerances (so goldens survive harmless last-digit
+    drift and the kernel-equivalence check can use 1e-6); everything else
+    must match exactly.  Returns an empty list when the traces agree.
+    """
+    differences: list[str] = []
+    _diff("", golden, observed, rel_tol, abs_tol, differences)
+    return differences
+
+
+def _diff(path: str, golden, observed, rel_tol: float, abs_tol: float, out: list[str]) -> None:
+    if isinstance(golden, dict) and isinstance(observed, dict):
+        for key in sorted(set(golden) | set(observed)):
+            where = f"{path}.{key}" if path else str(key)
+            if key not in golden:
+                out.append(f"{where}: unexpected key (not in golden)")
+            elif key not in observed:
+                out.append(f"{where}: missing key")
+            else:
+                _diff(where, golden[key], observed[key], rel_tol, abs_tol, out)
+        return
+    if isinstance(golden, list) and isinstance(observed, list):
+        if len(golden) != len(observed):
+            out.append(f"{path}: length {len(observed)} != golden {len(golden)}")
+            return
+        for index, (g, o) in enumerate(zip(golden, observed)):
+            _diff(f"{path}[{index}]", g, o, rel_tol, abs_tol, out)
+        return
+    if isinstance(golden, bool) or isinstance(observed, bool):
+        # bool is an int subclass; compare exactly, before the number branch.
+        if golden is not observed:
+            out.append(f"{path}: {observed!r} != golden {golden!r}")
+        return
+    if isinstance(golden, (int, float)) and isinstance(observed, (int, float)):
+        if not math.isclose(golden, observed, rel_tol=rel_tol, abs_tol=abs_tol):
+            out.append(f"{path}: {observed!r} != golden {golden!r}")
+        return
+    if golden != observed:
+        out.append(f"{path}: {observed!r} != golden {golden!r}")

@@ -32,10 +32,12 @@ Two kernels solve the per-tick closed-loop fixed point:
 from __future__ import annotations
 
 import itertools
+import random
 from dataclasses import dataclass, field
 from operator import attrgetter
 
 from repro.hbase.config import DEFAULT_HOMOGENEOUS, RegionServerConfig
+from repro.util.rng import make_rng
 from repro.simulation.clock import SimulationClock
 from repro.simulation.hardware import MB, HardwareSpec
 from repro.simulation.metrics import MetricsRegistry
@@ -168,9 +170,15 @@ class ClusterSimulator:
         kernel: str = KERNEL_FAST,
         fixed_point_tolerance: float = DEFAULT_FIXED_POINT_TOLERANCE,
         fixed_point_max_iterations: int = DEFAULT_FIXED_POINT_ITERATIONS,
+        seed: int | random.Random = 0,
     ) -> None:
         if kernel not in (KERNEL_FAST, KERNEL_REFERENCE):
             raise SimulationError(f"unknown kernel {kernel!r}")
+        #: The run's randomness stream.  The simulator itself is fully
+        #: deterministic; this generator is what scenario components
+        #: (balancers, fault injectors, arriving-tenant placement) share so
+        #: a whole run replays bit-identically from one seed.
+        self.rng = make_rng(seed)
         self.hardware = hardware or HardwareSpec()
         self.default_config = (default_config or DEFAULT_HOMOGENEOUS).validate()
         self.boot_seconds = boot_seconds
@@ -204,6 +212,8 @@ class ClusterSimulator:
         #: Bumped on attach/detach; invalidates the cached rate context.
         self._workloads_version = 0
         self._rate_context_cache: tuple[int, dict, list] | None = None
+        #: Pre-fault hardware of degraded nodes (see degrade_node).
+        self._base_hardware: dict[str, HardwareSpec] = {}
         self.total_ops = 0.0
 
     # ------------------------------------------------------------------ #
@@ -241,6 +251,7 @@ class ClusterSimulator:
         del self.nodes[node.name]
         self.metrics.drop_entity(name)
         self._node_evaluators.pop(name, None)
+        self._base_hardware.pop(name, None)
         if not reassign:
             for region in hosted:
                 region.node = None
@@ -352,6 +363,57 @@ class ClusterSimulator:
         return bytes_to_rewrite
 
     # ------------------------------------------------------------------ #
+    # fault injection
+    # ------------------------------------------------------------------ #
+    def fail_node(self, name: str) -> list[str]:
+        """Crash a node: it disappears and its regions are reassigned.
+
+        Unlike a controller-initiated :meth:`remove_node` the crash is not
+        graceful, but the observable aftermath is the same as in HBase once
+        the master notices the dead RegionServer: regions reopen on the
+        remaining nodes with remote blocks (locality loss) and the crashed
+        node's block replicas are re-replicated elsewhere.  Returns the ids
+        of the regions that were reassigned.
+        """
+        node = self._node(name)
+        displaced = [region.region_id for region in self.regions_on(node.name)]
+        self.remove_node(node.name, reassign=True)
+        return displaced
+
+    def degrade_node(self, name: str, factor: float) -> None:
+        """Slow a node down: scale its CPU/disk/network budgets by ``factor``.
+
+        Models a straggler VM (noisy neighbour, failing disk).  The original
+        hardware is remembered so :meth:`restore_node` can undo the fault.
+        Degradations do not compose: a second call rescales the *original*
+        spec, so ``degrade_node(n, 1.0)`` is a restore.
+        """
+        if not 0.0 < factor <= 1.0:
+            raise SimulationError(f"degradation factor must be in (0, 1], got {factor!r}")
+        node = self._node(name)
+        base = self._base_hardware.setdefault(name, node.hardware)
+        node.hardware = HardwareSpec(
+            cpu_millis_per_second=base.cpu_millis_per_second * factor,
+            disk_iops=base.disk_iops * factor,
+            disk_mb_per_second=base.disk_mb_per_second * factor,
+            network_mb_per_second=base.network_mb_per_second * factor,
+            memory_bytes=base.memory_bytes,
+            heap_bytes=base.heap_bytes,
+        )
+
+    def restore_node(self, name: str) -> None:
+        """Undo a :meth:`degrade_node` fault.
+
+        No-op if the node is healthy or no longer exists -- a scheduled
+        recovery may fire after a controller (or a crash) removed the
+        straggler, and that must not abort the run.
+        """
+        base = self._base_hardware.pop(name, None)
+        node = self.nodes.get(name)
+        if node is not None and base is not None:
+            node.hardware = base
+
+    # ------------------------------------------------------------------ #
     # workload management
     # ------------------------------------------------------------------ #
     def attach_workload(self, binding: WorkloadBinding) -> None:
@@ -375,6 +437,45 @@ class ClusterSimulator:
         if name not in self.bindings:
             raise SimulationError(f"unknown workload {name!r}")
         self.bindings[name].active = active
+
+    def update_workload(
+        self,
+        name: str,
+        op_mix: dict[str, float] | None = None,
+        target_ops_per_second: float | None | str = "unchanged",
+        threads: int | None = None,
+    ) -> None:
+        """Mutate a live tenant (mix shifts, load curves, thread scaling).
+
+        The fast kernel caches per-region unit rates keyed on the workload
+        version, so any change to the op mix (or the region weights) must go
+        through here -- mutating the binding directly would leave the kernel
+        serving the stale mix.  Throughput targets are consulted live and
+        need no invalidation, but routing them here keeps one entry point.
+        """
+        binding = self.bindings.get(name)
+        if binding is None:
+            raise SimulationError(f"unknown workload {name!r}")
+        previous = (binding.op_mix, binding.target_ops_per_second, binding.threads)
+        if op_mix is not None:
+            binding.op_mix = dict(op_mix)
+        if target_ops_per_second != "unchanged":
+            binding.target_ops_per_second = target_ops_per_second
+        if threads is not None:
+            binding.threads = threads
+        try:
+            binding.validate()
+        except ValueError:
+            # Leave the binding as it was: a rejected update must not leak
+            # an invalid mix into a simulator that keeps ticking.
+            binding.op_mix, binding.target_ops_per_second, binding.threads = previous
+            raise
+        if op_mix is not None:
+            self.notify_workload_changed()
+
+    def notify_workload_changed(self) -> None:
+        """Invalidate caches derived from binding mixes/weights."""
+        self._workloads_version += 1
 
     # ------------------------------------------------------------------ #
     # queries used by controllers and experiments

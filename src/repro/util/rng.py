@@ -1,0 +1,24 @@
+"""Seeded randomness plumbing.
+
+Every randomised component (YCSB key choosers, the HBase random balancer,
+the balancer daemon, scenario fault injection) accepts either an integer
+seed or an existing ``random.Random`` instance.  Passing one shared
+generator threads a *single* seeded stream through a whole run, which is
+what makes scenario runs bit-reproducible from one seed: the golden-trace
+harness relies on it.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def make_rng(seed: int | random.Random | None) -> random.Random:
+    """Return the RNG for ``seed``: instances pass through, ints seed a new one.
+
+    ``None`` seeds from the OS -- fine for exploration, but any component
+    that must be reproducible should be handed an int or a shared instance.
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)

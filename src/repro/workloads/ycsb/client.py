@@ -11,6 +11,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.hbase.client import HBaseClient
+from repro.util.rng import make_rng
 from repro.workloads.ycsb.distributions import HotspotChooser, KeyChooser
 from repro.workloads.ycsb.workloads import YCSBWorkload
 
@@ -48,16 +49,19 @@ class YCSBClient:
         workload: YCSBWorkload,
         table: str | None = None,
         chooser: KeyChooser | None = None,
-        seed: int = 0,
+        seed: int | random.Random = 0,
         field_count: int = 10,
     ) -> None:
         self.client = client
         self.workload = workload
         self.table = table or workload.table_name
+        self._rng = make_rng(seed)
         self.chooser = chooser or HotspotChooser(
-            workload.record_count, hot_set_fraction=0.4, hot_operation_fraction=0.5, seed=seed
+            workload.record_count,
+            hot_set_fraction=0.4,
+            hot_operation_fraction=0.5,
+            seed=self._rng,
         )
-        self._rng = random.Random(seed)
         self.field_count = field_count
         self.inserted = workload.record_count
         self.result = YCSBResult()

@@ -12,15 +12,17 @@ import math
 import random
 from abc import ABC, abstractmethod
 
+from repro.util.rng import make_rng
+
 
 class KeyChooser(ABC):
     """Chooses record indices in ``[0, record_count)``."""
 
-    def __init__(self, record_count: int, seed: int | None = None) -> None:
+    def __init__(self, record_count: int, seed: int | random.Random | None = None) -> None:
         if record_count <= 0:
             raise ValueError(f"record count must be positive, got {record_count!r}")
         self.record_count = record_count
-        self._rng = random.Random(seed)
+        self._rng = make_rng(seed)
 
     @abstractmethod
     def next_index(self) -> int:
@@ -51,7 +53,7 @@ class HotspotChooser(KeyChooser):
         record_count: int,
         hot_set_fraction: float = 0.4,
         hot_operation_fraction: float = 0.5,
-        seed: int | None = None,
+        seed: int | random.Random | None = None,
     ) -> None:
         super().__init__(record_count, seed)
         if not 0.0 < hot_set_fraction <= 1.0:
@@ -89,7 +91,7 @@ class ZipfianChooser(KeyChooser):
         self,
         record_count: int,
         theta: float = 0.99,
-        seed: int | None = None,
+        seed: int | random.Random | None = None,
     ) -> None:
         super().__init__(record_count, seed)
         if not 0.0 < theta < 1.0:
@@ -109,7 +111,13 @@ class ZipfianChooser(KeyChooser):
     def _refresh_eta(self) -> None:
         n = self.record_count
         zeta2 = 1.0 if n < 2 else 1.0 + 1.0 / (2 ** self.theta)
-        self._eta = (1 - (2.0 / n) ** (1 - self.theta)) / (1 - zeta2 / self._zetan)
+        denominator = 1.0 - zeta2 / self._zetan
+        if denominator == 0.0:
+            # n <= 2: zetan equals zeta2, and every draw resolves in the
+            # first two branches of next_index, so eta is never consulted.
+            self._eta = 0.0
+            return
+        self._eta = (1 - (2.0 / n) ** (1 - self.theta)) / denominator
 
     def extend(self, new_record_count: int) -> None:
         if new_record_count > self.record_count:
@@ -142,9 +150,15 @@ class ZipfianChooser(KeyChooser):
 class LatestChooser(KeyChooser):
     """Skewed towards the most recently inserted records (workload D style)."""
 
-    def __init__(self, record_count: int, theta: float = 0.99, seed: int | None = None) -> None:
+    def __init__(
+        self,
+        record_count: int,
+        theta: float = 0.99,
+        seed: int | random.Random | None = None,
+    ) -> None:
         super().__init__(record_count, seed)
-        self._zipf = ZipfianChooser(record_count, theta=theta, seed=seed)
+        # Share the generator so one seed drives one reproducible stream.
+        self._zipf = ZipfianChooser(record_count, theta=theta, seed=self._rng)
 
     def extend(self, new_record_count: int) -> None:
         super().extend(new_record_count)
@@ -160,7 +174,7 @@ def partition_request_shares(
     record_count: int,
     partitions: int,
     samples: int = 20000,
-    seed: int = 7,
+    seed: int | random.Random = 7,
 ) -> list[float]:
     """Share of requests landing on each equal-size partition.
 

@@ -66,11 +66,20 @@ class MultiTenantScenario:
         return expected
 
 
+def binding_name(workload_name: str) -> str:
+    """Binding name of a tenant given its workload name (``"A"`` -> ``"workload-A"``).
+
+    The single source of the naming convention: region labels, client
+    bindings and the scenario engine's tenant lookups all go through it.
+    """
+    return f"workload-{workload_name}"
+
+
 def binding_for(workload: YCSBWorkload) -> WorkloadBinding:
     """Build the closed-loop client binding for one workload."""
     specs = partition_specs(workload)
     return WorkloadBinding(
-        name=f"workload-{workload.name}",
+        name=binding_name(workload.name),
         threads=workload.threads,
         op_mix=workload.op_mix,
         region_weights={spec.partition_id: spec.weight for spec in specs},
@@ -99,7 +108,7 @@ def build_paper_scenario(
         for spec in specs:
             simulator.add_region(
                 region_id=spec.partition_id,
-                workload=f"workload-{workload.name}",
+                workload=binding_name(workload.name),
                 size_bytes=spec.size_bytes,
                 node=initial_node,
                 record_size=workload.record_size,

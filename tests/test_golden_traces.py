@@ -1,0 +1,142 @@
+"""Golden-trace regression suite: the controller stack, locked down.
+
+Every canned scenario runs at reduced scale under both MeT and tiramola;
+the resulting decision/throughput trace is diffed against the committed
+golden under ``tests/golden/``.  Any change to the simulator kernel, the
+monitor, the decision maker, the actuator, the IaaS model or the scenario
+engine that shifts end-to-end behaviour fails here -- if the shift is
+intentional, regenerate with ``PYTHONPATH=src python scripts/regen_goldens.py``
+and commit the diff.
+
+Also enforced here:
+
+* two identical-seed runs serialise to byte-identical traces;
+* the fast and reference kernels agree on every golden scenario within the
+  1e-6 relative tolerance the kernel-equivalence suite established;
+* the catalog demonstrates every scenario event family.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios import (
+    CANNED_SCENARIOS,
+    diff_traces,
+    scenario_trace,
+    trace_to_json,
+)
+from repro.scenarios.trace import GOLDEN_CONTROLLERS, golden_name
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Committed-golden comparison: tight, tolerating only float formatting
+#: noise, since goldens are regenerated on the same code path.
+GOLDEN_REL_TOL = 1e-9
+#: Fast-vs-reference kernel comparison (matches tests/test_kernel_equivalence).
+KERNEL_REL_TOL = 1e-6
+
+COMBOS = [
+    (scenario, controller)
+    for scenario in sorted(CANNED_SCENARIOS)
+    for controller in GOLDEN_CONTROLLERS
+]
+
+
+def _load_golden(scenario: str, controller: str) -> dict:
+    path = GOLDEN_DIR / golden_name(scenario, controller)
+    assert path.exists(), (
+        f"missing golden {path.name}; generate it with "
+        "`PYTHONPATH=src python scripts/regen_goldens.py`"
+    )
+    return json.loads(path.read_text())
+
+
+class TestGoldenTraces:
+    @pytest.mark.parametrize("scenario,controller", COMBOS)
+    def test_trace_matches_committed_golden(self, scenario, controller):
+        golden = _load_golden(scenario, controller)
+        observed = scenario_trace(CANNED_SCENARIOS[scenario], controller, kernel="fast")
+        differences = diff_traces(
+            golden, observed, rel_tol=GOLDEN_REL_TOL, abs_tol=GOLDEN_REL_TOL
+        )
+        assert not differences, (
+            f"{scenario} under {controller} diverged from its golden trace "
+            f"({len(differences)} differences):\n  " + "\n  ".join(differences[:20])
+            + "\nIf the change is intentional, regenerate with "
+            "`PYTHONPATH=src python scripts/regen_goldens.py` and commit the diff."
+        )
+
+    @pytest.mark.parametrize("scenario,controller", COMBOS)
+    def test_kernels_agree(self, scenario, controller):
+        """kernel="fast" and kernel="reference" tell the same story."""
+        spec = CANNED_SCENARIOS[scenario]
+        fast = scenario_trace(spec, controller, kernel="fast")
+        reference = scenario_trace(spec, controller, kernel="reference")
+        # The kernel tag itself legitimately differs.
+        fast.pop("kernel")
+        reference.pop("kernel")
+        differences = diff_traces(
+            fast, reference, rel_tol=KERNEL_REL_TOL, abs_tol=KERNEL_REL_TOL
+        )
+        assert not differences, (
+            f"kernels diverged on {scenario} under {controller}:\n  "
+            + "\n  ".join(differences[:20])
+        )
+
+    def test_identical_seed_runs_are_byte_identical(self):
+        spec = CANNED_SCENARIOS["flash_crowd"]
+        first = trace_to_json(scenario_trace(spec, "tiramola", kernel="fast"))
+        second = trace_to_json(scenario_trace(spec, "tiramola", kernel="fast"))
+        assert first == second
+
+    def test_goldens_are_canonically_serialised(self):
+        """Committed files are exactly what trace_to_json would write."""
+        for scenario, controller in COMBOS:
+            path = GOLDEN_DIR / golden_name(scenario, controller)
+            golden = json.loads(path.read_text())
+            assert path.read_text() == trace_to_json(golden), (
+                f"{path.name} is not canonically serialised; regenerate it"
+            )
+
+
+class TestCatalogCoverage:
+    def test_every_event_family_is_demonstrated(self):
+        """The catalog exercises all scenario event types at least once."""
+        families = {
+            type(event).__name__
+            for spec in CANNED_SCENARIOS.values()
+            for event in spec.events
+        }
+        assert {
+            "DiurnalLoad",
+            "FlashCrowd",
+            "TenantArrival",
+            "TenantDeparture",
+            "MixShift",
+            "NodeCrash",
+            "NodeSlowdown",
+            "DataGrowthBurst",
+        } <= families
+
+    def test_goldens_show_scenario_effects(self):
+        """Each golden actually recorded its scenario's events firing."""
+        for scenario, controller in COMBOS:
+            golden = _load_golden(scenario, controller)
+            assert golden["annotations"], f"{scenario} golden has no annotations"
+            assert golden["series"], f"{scenario} golden has no series"
+
+    def test_controllers_act_somewhere_in_the_catalog(self):
+        """The catalog is stressful enough that both controllers take actions."""
+        met_plans = 0
+        tiramola_adds = 0
+        for scenario in CANNED_SCENARIOS:
+            met = _load_golden(scenario, "met")
+            tiramola = _load_golden(scenario, "tiramola")
+            met_plans += sum(1 for d in met["decisions"] if d["kind"] == "plan")
+            tiramola_adds += sum(
+                1 for d in tiramola["decisions"] if d["kind"] == "add_node"
+            )
+        assert met_plans >= 3
+        assert tiramola_adds >= 3

@@ -1,5 +1,6 @@
 """Property-based tests (hypothesis) for the core algorithms and substrates."""
 
+import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
@@ -12,6 +13,12 @@ from repro.hbase.region import Region
 from repro.hbase.storefile import StoreFile
 from repro.hbase.table import Cell, HTableDescriptor
 from repro.monitoring.smoothing import ExponentialSmoother
+from repro.workloads.ycsb.distributions import (
+    HotspotChooser,
+    UniformChooser,
+    ZipfianChooser,
+    partition_request_shares,
+)
 from repro.workloads.ycsb.workloads import hotspot_partition_weights
 
 requests = st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False)
@@ -139,6 +146,124 @@ def test_hotspot_weights_are_a_distribution(partitions):
     assert len(weights) == partitions
     assert all(w >= 0 for w in weights)
     assert abs(sum(weights) - 1.0) < 1e-9
+
+
+# --------------------------------------------------------------------- #
+# key distributions: ZipfianChooser.extend and partition_request_shares
+# --------------------------------------------------------------------- #
+
+seeds = st.integers(min_value=0, max_value=2**16)
+
+
+@given(
+    record_count=st.integers(min_value=2, max_value=4000),
+    growth=st.integers(min_value=1, max_value=4000),
+    theta=st.floats(min_value=0.3, max_value=0.99),
+    seed=seeds,
+)
+@settings(max_examples=60)
+def test_zipfian_extend_matches_fresh_chooser(record_count, growth, theta, seed):
+    """Incremental zetan growth equals a from-scratch chooser's state."""
+    extended = ZipfianChooser(record_count, theta=theta, seed=seed)
+    extended.extend(record_count + growth)
+    fresh = ZipfianChooser(record_count + growth, theta=theta, seed=seed)
+    assert extended.record_count == fresh.record_count
+    assert extended._zetan == pytest.approx(fresh._zetan, rel=1e-9)
+    assert extended._eta == pytest.approx(fresh._eta, rel=1e-9)
+    for _ in range(20):
+        index = extended.next_index()
+        assert 0 <= index < record_count + growth
+
+
+@given(
+    record_count=st.integers(min_value=2, max_value=1000),
+    growths=st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=8),
+    seed=seeds,
+)
+@settings(max_examples=60)
+def test_zipfian_state_is_monotone_under_key_space_growth(record_count, growths, seed):
+    """Growing the key space only ever grows the harmonic sum; shrinking is a no-op."""
+    chooser = ZipfianChooser(record_count, seed=seed)
+    previous_zetan = chooser._zetan
+    previous_count = chooser.record_count
+    for growth in growths:
+        chooser.extend(chooser.record_count + growth)
+        assert chooser.record_count == previous_count + growth
+        if growth > 0:
+            assert chooser._zetan > previous_zetan
+        else:
+            assert chooser._zetan == previous_zetan
+        previous_zetan = chooser._zetan
+        previous_count = chooser.record_count
+    # extend() never shrinks.
+    chooser.extend(1)
+    assert chooser.record_count == previous_count
+    assert chooser._zetan == previous_zetan
+
+
+@given(
+    record_count=st.integers(min_value=8, max_value=50_000),
+    partitions=st.integers(min_value=1, max_value=12),
+    seed=seeds,
+)
+@settings(max_examples=60)
+def test_partition_shares_are_a_distribution(record_count, partitions, seed):
+    """Shares are non-negative and sum to 1 for every chooser family."""
+    for factory in (UniformChooser, HotspotChooser, ZipfianChooser):
+        shares = partition_request_shares(
+            factory, record_count, partitions, samples=400, seed=seed
+        )
+        assert len(shares) == partitions
+        assert all(share >= 0.0 for share in shares)
+        assert sum(shares) == pytest.approx(1.0, abs=1e-9)
+
+
+class _SampledUniform(UniformChooser):
+    """Defeats the exact-type check so the sampling fallback runs."""
+
+
+class _SampledHotspot(HotspotChooser):
+    """Defeats the exact-type check so the sampling fallback runs."""
+
+
+@given(
+    record_count=st.integers(min_value=50, max_value=20_000),
+    partitions=st.integers(min_value=1, max_value=8),
+    seed=seeds,
+)
+@settings(max_examples=25, deadline=None)
+def test_closed_form_shares_match_reference_sampling(record_count, partitions, seed):
+    """The analytic uniform/hotspot shares agree with drawn-key estimates."""
+    for analytic_factory, sampled_factory in (
+        (UniformChooser, _SampledUniform),
+        (HotspotChooser, _SampledHotspot),
+    ):
+        analytic = partition_request_shares(
+            analytic_factory, record_count, partitions, seed=seed
+        )
+        sampled = partition_request_shares(
+            sampled_factory, record_count, partitions, samples=8000, seed=seed
+        )
+        for expected, estimate in zip(analytic, sampled):
+            assert estimate == pytest.approx(expected, abs=0.03)
+
+
+@given(
+    record_count=st.integers(min_value=100, max_value=20_000),
+    scale=st.integers(min_value=2, max_value=50),
+    partitions=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=40)
+def test_hotspot_shares_scale_free_under_key_space_growth(record_count, scale, partitions):
+    """Growing the key space keeps the hotspot split (the 34/26/20/20 shape).
+
+    The hot set is a *fraction* of the key space, so scaling the record
+    count must not move the per-partition shares beyond boundary rounding.
+    """
+    small = partition_request_shares(HotspotChooser, record_count, partitions)
+    large = partition_request_shares(HotspotChooser, record_count * scale, partitions)
+    for a, b in zip(small, large):
+        assert b == pytest.approx(a, abs=2.0 * partitions / record_count + 1e-9)
 
 
 row_keys = st.text(alphabet="abcdefghij", min_size=1, max_size=6)

@@ -1,0 +1,88 @@
+"""MeT vs tiramola decision divergence under a flash crowd (Section 6.4).
+
+The paper's core behavioural claim: facing the same overload, the
+workload-aware controller first *reconfigures* what it already has
+(node profiles, placement, compactions) and only then provisions, while the
+workload-oblivious baseline can do nothing but add homogeneous nodes and
+let the random balancer shuffle data.  The flash-crowd scenario reproduces
+that divergence at reduced scale; this suite asserts its shape directly
+from fresh runs (the golden suite pins the exact numbers).
+"""
+
+import pytest
+
+from repro.scenarios import CANNED_SCENARIOS, run_scenario
+
+
+@pytest.fixture(scope="module")
+def flash_crowd_runs():
+    spec = CANNED_SCENARIOS["flash_crowd"]
+    met = run_scenario(spec, controller="met", keep_simulator=False)
+    tiramola = run_scenario(spec, controller="tiramola", keep_simulator=False)
+    return met, tiramola
+
+
+def _met_plans(met) -> list[dict]:
+    plans = []
+    for decision in met.decisions:
+        if decision["kind"] != "plan":
+            continue
+        detail = dict(
+            part.split("=", 1) for part in decision["detail"].split() if "=" in part
+        )
+        plans.append(
+            {
+                "minute": decision["minute"],
+                "restarts": int(detail.get("restarts", 0)),
+                "adds": int(detail.get("adds", 0)),
+                "moves": int(detail.get("moves", 0)),
+            }
+        )
+    return plans
+
+
+class TestFlashCrowdDivergence:
+    def test_met_reconfigures_before_adding_nodes(self, flash_crowd_runs):
+        met, _ = flash_crowd_runs
+        plans = _met_plans(met)
+        assert plans, "MeT never reacted to the flash crowd"
+        first = plans[0]
+        assert first["restarts"] > 0 or first["moves"] > 0
+        assert first["adds"] == 0, (
+            "MeT's first reaction must be a reconfiguration, not provisioning"
+        )
+        first_reconfigure = next(
+            p["minute"] for p in plans if p["restarts"] > 0 or p["moves"] > 0
+        )
+        add_minutes = [p["minute"] for p in plans if p["adds"] > 0]
+        if add_minutes:
+            assert first_reconfigure < min(add_minutes)
+
+    def test_tiramola_only_adds_nodes(self, flash_crowd_runs):
+        _, tiramola = flash_crowd_runs
+        kinds = {decision["kind"] for decision in tiramola.decisions}
+        assert "add_node" in kinds, "tiramola never scaled out under the crowd"
+        assert kinds <= {"add_node", "remove_node"}, (
+            f"tiramola is workload-oblivious and must not reconfigure: {kinds}"
+        )
+
+    def test_met_uses_no_more_machines(self, flash_crowd_runs):
+        met, tiramola = flash_crowd_runs
+        met_peak = max(point.nodes for point in met.run.series)
+        tiramola_peak = max(point.nodes for point in tiramola.run.series)
+        assert met_peak <= tiramola_peak
+        assert met.run.machine_minutes <= tiramola.run.machine_minutes
+
+    def test_met_reaches_higher_peak_throughput(self, flash_crowd_runs):
+        met, tiramola = flash_crowd_runs
+        crowd_window = [
+            point.throughput
+            for point in met.run.series
+            if 3.0 <= point.minute <= 9.0
+        ]
+        tiramola_window = [
+            point.throughput
+            for point in tiramola.run.series
+            if 3.0 <= point.minute <= 9.0
+        ]
+        assert max(crowd_window) > max(tiramola_window)
