@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Regenerate the committed golden traces under tests/golden/.
+"""Regenerate (or verify) the committed golden traces under tests/golden/.
 
 Run after an *intentional* behaviour change (new decision logic, retuned
 scenario, trace schema bump):
@@ -9,10 +9,19 @@ scenario, trace schema bump):
 then review the diff -- every changed number is a claim that the new
 behaviour is the correct one.  The golden test suite will fail loudly until
 regenerated goldens are committed alongside the change that moved them.
+
+CI runs the drift gate:
+
+    PYTHONPATH=src python scripts/regen_goldens.py --check
+
+which regenerates every trace in memory and exits non-zero if any committed
+golden differs (or is missing, or is stale -- a file no scenario produces),
+so goldens cannot drift without an explicit regen commit.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 from pathlib import Path
 
@@ -25,15 +34,61 @@ from repro.scenarios.trace import GOLDEN_CONTROLLERS, golden_name  # noqa: E402
 GOLDEN_DIR = REPO_ROOT / "tests" / "golden"
 
 
-def main() -> None:
+def expected_payloads() -> dict[Path, str]:
+    """Canonical serialisation of every (scenario, controller) golden."""
+    return {
+        GOLDEN_DIR / golden_name(name, controller): trace_to_json(
+            scenario_trace(spec, controller, kernel="fast")
+        )
+        for name, spec in sorted(CANNED_SCENARIOS.items())
+        for controller in GOLDEN_CONTROLLERS
+    }
+
+
+def regenerate() -> None:
     GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
-    for name, spec in sorted(CANNED_SCENARIOS.items()):
-        for controller in GOLDEN_CONTROLLERS:
-            path = GOLDEN_DIR / golden_name(name, controller)
-            payload = trace_to_json(scenario_trace(spec, controller, kernel="fast"))
-            changed = not path.exists() or path.read_text() != payload
-            path.write_text(payload)
-            print(f"{'updated ' if changed else 'unchanged'} {path.relative_to(REPO_ROOT)}")
+    for path, payload in expected_payloads().items():
+        changed = not path.exists() or path.read_text() != payload
+        path.write_text(payload)
+        print(f"{'updated ' if changed else 'unchanged'} {path.relative_to(REPO_ROOT)}")
+
+
+def check() -> int:
+    expected = expected_payloads()
+    problems: list[str] = []
+    for path, payload in expected.items():
+        name = path.relative_to(REPO_ROOT)
+        if not path.exists():
+            problems.append(f"missing   {name}")
+        elif path.read_text() != payload:
+            problems.append(f"drifted   {name}")
+    committed = set(GOLDEN_DIR.glob("*.json")) if GOLDEN_DIR.exists() else set()
+    for stale in sorted(committed - set(expected)):
+        problems.append(f"stale     {stale.relative_to(REPO_ROOT)}")
+    if problems:
+        print("golden traces out of sync with the catalog:")
+        for problem in problems:
+            print(f"  {problem}")
+        print(
+            "regenerate with `PYTHONPATH=src python scripts/regen_goldens.py` "
+            "and commit the diff"
+        )
+        return 1
+    print(f"all {len(expected)} goldens in sync")
+    return 0
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify committed goldens instead of rewriting them",
+    )
+    args = parser.parse_args()
+    if args.check:
+        raise SystemExit(check())
+    regenerate()
 
 
 if __name__ == "__main__":

@@ -141,24 +141,28 @@ class Actuator:
     def _step_provisioning(self) -> None:
         state = self._inflight
         assert state is not None
-        ready = all(
-            self.backend.node_is_online(real)
-            for real in state.placeholder_map.values()
-        )
-        if ready:
-            self.phase = ActuatorPhase.RECONFIGURING
+        for real in state.placeholder_map.values():
+            # A provisioned node that crashed while booting will never come
+            # online; waiting for it would wedge the actuator.  Its moves
+            # are dropped later by the same existence check in _step_moving.
+            if self._node_exists(real) and not self.backend.node_is_online(real):
+                return
+        self.phase = ActuatorPhase.RECONFIGURING
 
     def _step_reconfiguring(self) -> None:
         state = self._inflight
         assert state is not None
-        if state.restarting is None:
+        while state.restarting is None:
             if not state.pending_restarts:
                 self.phase = ActuatorPhase.MOVING
                 return
             target = state.pending_restarts.pop(0)
+            if not self._node_exists(target.node):
+                # The node crashed after the plan was decided; there is
+                # nothing left to restart.  Skip rather than abort the plan.
+                continue
             config = self._config_for(target.profile)
             self.backend.reconfigure_node(target.node, config, target.profile)
-            self.report.nodes_reconfigured += 1
             state.restarting = target
             self.phase = ActuatorPhase.WAITING_RESTART
 
@@ -167,9 +171,19 @@ class Actuator:
         assert state is not None
         target = state.restarting
         assert target is not None
+        if not self._node_exists(target.node):
+            # The restarting node crashed and will never come back online;
+            # waiting for it would wedge the actuator for the rest of the
+            # run.  Abandon this target and continue with the plan.
+            state.restarting = None
+            self.phase = ActuatorPhase.RECONFIGURING
+            return
         if not self.backend.node_is_online(target.node):
             return
         self._apply_target(target)
+        # Counted on completion: a restart abandoned because its node
+        # crashed mid-restart was not a reconfiguration.
+        self.report.nodes_reconfigured += 1
         state.restarting = None
         self.phase = ActuatorPhase.RECONFIGURING
 
@@ -179,6 +193,10 @@ class Actuator:
         while state.pending_moves:
             target = state.pending_moves.pop(0)
             node = state.placeholder_map.get(target.node, target.node)
+            if not self._node_exists(node):
+                # Move destination crashed mid-plan: drop the move (its
+                # partitions were already reassigned by the failure path).
+                continue
             if not self.backend.node_is_online(node):
                 state.pending_moves.insert(0, target)
                 return
@@ -189,6 +207,9 @@ class Actuator:
         state = self._inflight
         assert state is not None
         for node in state.pending_removals:
+            if not self._node_exists(node):
+                # Crashed before we could decommission it: already gone.
+                continue
             self.backend.remove_node(node)
             self.report.nodes_removed += 1
         state.pending_removals = []
@@ -202,6 +223,11 @@ class Actuator:
     # ------------------------------------------------------------------ #
     # helpers
     # ------------------------------------------------------------------ #
+    def _node_exists(self, name: str) -> bool:
+        """Whether the node is still part of the cluster (it may have
+        crashed since the plan was decided)."""
+        return name in self.backend.node_names()
+
     def _apply_target(self, target: NodeTarget, resolved_node: str | None = None) -> None:
         """Move a node's target partitions onto it and restore locality."""
         node = resolved_node or target.node

@@ -8,6 +8,24 @@ when enough nodes exceed the high threshold, and removes a node only when
 parameterisable -- Section 6.4).  It never reconfigures nodes, never
 rebalances data and never triggers compactions; region placement after an
 add/remove is whatever the database's random balancer does.
+
+Sampling semantics
+------------------
+
+Every ``monitor_period_seconds`` the controller records one load sample
+(max of CPU and I/O wait) per *online* node.  Decisions follow the same
+windowing rule MeT's monitor documents in :mod:`repro.monitoring.smoothing`:
+
+* the window is bounded -- each node retains at most ``decision_samples``
+  observations, so time spent in cooldown cannot inflate the window and the
+  first post-cooldown decision averages only the freshest samples;
+* the window resets whenever a decision is evaluated, and in particular
+  whenever an actuator action fires -- observations taken before the last
+  add/remove never leak into the next decision;
+* nodes that went offline mid-window (a crash, a concurrent removal) are
+  dropped at decision time: quorum and the all-idle test are computed over
+  the currently online population only, so a dead node can neither suppress
+  a needed ADD nor licence a REMOVE of a healthy node.
 """
 
 from __future__ import annotations
@@ -75,8 +93,7 @@ class Tiramola(Autoscaler):
         if self._in_cooldown(now):
             return
         loads = self._average_loads()
-        self._samples = {}
-        self._samples_taken = 0
+        self._reset_window()
         if not loads:
             return
         online = len(loads)
@@ -104,17 +121,33 @@ class Tiramola(Autoscaler):
 
     def _sample(self, now: float) -> None:
         self._last_sample_time = now
-        self._samples_taken += 1
+        window = self.policy.decision_samples
+        # The window is bounded: cooldown ticks must not grow it past
+        # ``decision_samples``, or the first post-cooldown decision would
+        # average pre-settle load from the whole cooldown.
+        self._samples_taken = min(self._samples_taken + 1, window)
         for name in self.backend.online_node_names():
             metrics = self.backend.node_system_metrics(name)
             load = max(metrics.get("cpu", 0.0), metrics.get("io_wait", 0.0))
-            self._samples.setdefault(name, []).append(load)
+            values = self._samples.setdefault(name, [])
+            values.append(load)
+            if len(values) > window:
+                del values[: len(values) - window]
+
+    def _reset_window(self) -> None:
+        """Discard the observation window (after each decision/action)."""
+        self._samples = {}
+        self._samples_taken = 0
 
     def _average_loads(self) -> dict[str, float]:
+        # Nodes that went offline mid-window (crashed, or removed by someone
+        # else) are dropped: the decision must describe the nodes that are
+        # actually serving, not ghosts whose samples stopped accumulating.
+        online = set(self.backend.online_node_names())
         return {
             name: sum(values) / len(values)
             for name, values in self._samples.items()
-            if values
+            if values and name in online
         }
 
     def _least_loaded_node(self, loads: dict[str, float]) -> str | None:

@@ -81,6 +81,14 @@ class StrategyRun:
         eligible = [p.cumulative_ops for p in self.series if p.minute <= minute]
         return eligible[-1] if eligible else 0.0
 
+    def node_bounds(self) -> tuple[int, int]:
+        """Smallest and largest observed cluster size (scenario assertions
+        check it against a declared envelope)."""
+        if not self.series:
+            return self.final_nodes, self.final_nodes
+        counts = [point.nodes for point in self.series]
+        return min(counts), max(counts)
+
 
 def apply_placement(simulator: ClusterSimulator, plan: PlacementPlan) -> None:
     """Apply a placement plan: node configurations and region assignment.

@@ -7,6 +7,13 @@ inventory consistent: when a crashed node is backed by a provider instance,
 the instance is moved to ERROR so machine-hour accounting and quota reflect
 the failure.
 
+Crashes are *recoverable*: the injector remembers what each crashed node
+looked like (hardware, configuration, profile, whether a VM backed it) so
+:meth:`FaultInjector.recover_crashed_node` can repair the machine and let it
+rejoin the cluster -- booting like a fresh node, with a replacement VM when
+the crash consumed one.  This is what cascading-failure scenarios lean on:
+a second crash can land while the first victim is still rebooting.
+
 Target selection is deterministic: when no node is named, the victim is
 drawn from the *sorted* online-node list with the injector's seeded RNG, so
 scenario runs replay bit-identically from one seed.
@@ -15,13 +22,30 @@ scenario runs replay bit-identically from one seed.
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.hbase.config import RegionServerConfig
+from repro.iaas.flavors import REGIONSERVER_FLAVOR
 from repro.iaas.provider import OpenStackProvider
 from repro.util.rng import make_rng
 
 if TYPE_CHECKING:  # keeps iaas a leaf package: no simulation import at runtime
     from repro.simulation.cluster import ClusterSimulator
+    from repro.simulation.hardware import HardwareSpec
+
+
+@dataclass(frozen=True)
+class CrashedNode:
+    """What a node looked like just before it crashed (for recovery)."""
+
+    name: str
+    hardware: "HardwareSpec"
+    config: RegionServerConfig
+    profile_name: str
+    #: Provider instance that backed the node, if any.  Recovery launches a
+    #: *replacement* instance (the crashed one stays in ERROR for accounting).
+    instance_id: str | None = None
 
 
 class FaultInjector:
@@ -41,21 +65,91 @@ class FaultInjector:
         self._rng = make_rng(seed if seed is not None else simulator.rng)
         #: (time, kind, node) history of injected faults.
         self.injected: list[tuple[float, str, str]] = []
+        #: Crash records, in crash order, for recover_crashed_node.
+        self._crashed: dict[str, CrashedNode] = {}
+
+    @property
+    def crashed_nodes(self) -> list[str]:
+        """Names of crashed nodes not yet recovered, oldest crash first."""
+        return list(self._crashed)
 
     def crash_node(self, node: str | None = None) -> str:
         """Crash ``node`` (or a random online node); returns the victim."""
         victim = self._pick(node)
-        instance_id = self.vm_ids.pop(victim, None)
-        if self.provider is not None and instance_id is not None:
-            self.provider.inject_fault(instance_id)
+        target = self.simulator.nodes.get(victim)
+        # A degraded straggler crashes and is repaired at *full* health (the
+        # replacement machine is a fresh one); read the pre-degradation
+        # hardware before fail_node discards the degradation record.
+        healthy_hardware = (
+            self.simulator.base_hardware(victim) if target is not None else None
+        )
+        instance_id = None
+        if self.provider is not None:
+            # Only consume the node<->instance mapping when the provider
+            # fault is actually injected; without a provider the mapping
+            # must survive for whoever does the accounting.
+            instance_id = self.vm_ids.pop(victim, None)
+            if instance_id is not None:
+                self.provider.inject_fault(instance_id)
         self.simulator.fail_node(victim)
+        if target is not None:
+            self._crashed[victim] = CrashedNode(
+                name=victim,
+                hardware=healthy_hardware or target.hardware,
+                config=target.config,
+                profile_name=target.profile_name,
+                instance_id=instance_id,
+            )
         self.injected.append((self.simulator.clock.now, "crash", victim))
         return victim
 
-    def slow_node(self, node: str | None = None, factor: float = 0.5) -> str:
-        """Degrade ``node`` (or a random online node) to ``factor`` speed."""
+    def recover_crashed_node(self, node: str | None = None) -> str:
+        """Repair a crashed node: it rejoins the cluster after a fresh boot.
+
+        With ``node=None`` the most recently crashed unrecovered node is
+        repaired.  When the crash consumed a provider instance, a
+        replacement VM is launched and the node<->instance mapping restored,
+        so a later crash of the recovered node fails the new VM.  The node
+        rejoins empty (its regions were reassigned at crash time) and boots
+        for the simulator's usual boot delay before coming online.
+        """
+        if node is None:
+            if not self._crashed:
+                raise RuntimeError("no crashed node to recover")
+            node = next(reversed(self._crashed))
+        try:
+            info = self._crashed.pop(node)
+        except KeyError:
+            raise RuntimeError(f"node {node!r} has not crashed") from None
+        if self.provider is not None and info.instance_id is not None:
+            replacement = self.provider.launch(node, REGIONSERVER_FLAVOR)
+            self.vm_ids[node] = replacement.instance_id
+        self.simulator.add_node(
+            name=node,
+            config=info.config,
+            hardware=info.hardware,
+            profile_name=info.profile_name,
+            online=False,
+        )
+        self.injected.append((self.simulator.clock.now, "rejoin", node))
+        return node
+
+    def slow_node(
+        self,
+        node: str | None = None,
+        factor: float = 0.5,
+        cpu: float | None = None,
+        disk: float | None = None,
+        network: float | None = None,
+    ) -> str:
+        """Degrade ``node`` (or a random online node).
+
+        ``factor`` scales every budget; the per-resource overrides model
+        partial faults -- ``network=0.15`` alone is a congested/partitioned
+        link on an otherwise healthy machine.
+        """
         victim = self._pick(node)
-        self.simulator.degrade_node(victim, factor)
+        self.simulator.degrade_node(victim, factor, cpu=cpu, disk=disk, network=network)
         self.injected.append((self.simulator.clock.now, "slow", victim))
         return victim
 

@@ -10,6 +10,19 @@ what makes the committed golden traces (``tests/golden/``) a regression
 gate for the whole controller stack.
 """
 
+from repro.scenarios.assertions import (
+    ADD_NODE,
+    RECONFIGURE,
+    REMOVE_NODE,
+    AssertionResult,
+    NoOscillation,
+    ReconfiguresBefore,
+    RecoversWithin,
+    ScenarioAssertion,
+    StaysWithin,
+    controller_actions,
+    evaluate_assertions,
+)
 from repro.scenarios.catalog import CANNED_SCENARIOS, canned_scenario
 from repro.scenarios.context import ScenarioContext
 from repro.scenarios.events import (
@@ -18,6 +31,7 @@ from repro.scenarios.events import (
     FlashCrowd,
     MixShift,
     NodeCrash,
+    NodeRecovery,
     NodeSlowdown,
     TenantArrival,
     TenantDeparture,
@@ -38,6 +52,10 @@ from repro.scenarios.trace import (
 )
 
 __all__ = [
+    "ADD_NODE",
+    "RECONFIGURE",
+    "REMOVE_NODE",
+    "AssertionResult",
     "CANNED_SCENARIOS",
     "CONTROLLERS",
     "DataGrowthBurst",
@@ -45,12 +63,18 @@ __all__ = [
     "EventSchedule",
     "FlashCrowd",
     "MixShift",
+    "NoOscillation",
     "NodeCrash",
+    "NodeRecovery",
     "NodeSlowdown",
+    "ReconfiguresBefore",
+    "RecoversWithin",
+    "ScenarioAssertion",
     "ScenarioContext",
     "ScenarioRunResult",
     "ScenarioSpec",
     "ScheduledAction",
+    "StaysWithin",
     "TenantArrival",
     "TenantDeparture",
     "TenantSpec",
@@ -58,7 +82,9 @@ __all__ = [
     "build_scenario",
     "canned_scenario",
     "compile_spec",
+    "controller_actions",
     "diff_traces",
+    "evaluate_assertions",
     "result_trace",
     "run_scenario",
     "scenario_trace",

@@ -14,12 +14,19 @@ from __future__ import annotations
 
 from dataclasses import replace
 
+from repro.scenarios.assertions import (
+    NoOscillation,
+    ReconfiguresBefore,
+    RecoversWithin,
+    StaysWithin,
+)
 from repro.scenarios.events import (
     DataGrowthBurst,
     DiurnalLoad,
     FlashCrowd,
     MixShift,
     NodeCrash,
+    NodeRecovery,
     NodeSlowdown,
     TenantArrival,
     TenantDeparture,
@@ -40,13 +47,13 @@ SMALL_E = replace(CORE_WORKLOADS["E"], threads=10, record_count=200_000, partiti
 
 
 def _base(name: str, tenants, events, minutes: float = 10.0, **overrides) -> ScenarioSpec:
+    overrides.setdefault("initial_nodes", 3)
+    overrides.setdefault("max_nodes", 6)
     return ScenarioSpec(
         name=name,
         tenants=tuple(tenants),
         events=tuple(events),
         duration_minutes=minutes,
-        initial_nodes=3,
-        max_nodes=6,
         **overrides,
     )
 
@@ -77,6 +84,15 @@ def flash_crowd_scenario() -> ScenarioSpec:
             ),
         ],
         minutes=10.0,
+        # The paper's Section 6.4 divergence, declared: the workload-aware
+        # controller reconfigures what it has before provisioning, while the
+        # baseline can only add homogeneous nodes.  The floor is one below
+        # the initial size: MeT's incremental restarts take one node offline
+        # at a time, and the observed series legitimately dips through that.
+        assertions=(
+            ReconfiguresBefore(action="add_node", controllers=("met",)),
+            StaysWithin(min_nodes=2, max_nodes=6),
+        ),
         description="3x read spike on tenant C: ramp 1m, hold 3m, decay 1m.",
     )
 
@@ -140,6 +156,124 @@ def data_growth_scenario() -> ScenarioSpec:
     )
 
 
+def cascading_failure_scenario() -> ScenarioSpec:
+    """A crash, a repair, and a second crash while the repair is booting.
+
+    The hardest fault sequence a controller faces short of total loss: the
+    first victim is being repaired (rejoining, still booting) when a second
+    machine dies, so the cluster dips to half its size with full load
+    attached.  The declared expectation is resilience, not heroics: the run
+    must end back inside the size envelope with throughput recovered.
+    """
+    return _base(
+        "cascading_failure",
+        [TenantSpec(SMALL_A, target_ops=2400.0), TenantSpec(SMALL_C, target_ops=2800.0)],
+        [
+            NodeCrash(minute=2.0),
+            NodeRecovery(minute=4.0),
+            NodeCrash(minute=5.0),
+        ],
+        minutes=12.0,
+        initial_nodes=4,
+        assertions=(
+            RecoversWithin(minutes=5.0, after_label="node-crash", fraction=0.8),
+            StaysWithin(min_nodes=2, max_nodes=6),
+        ),
+        description="Crash at 2m, repair rejoins at 4m, second crash at 5m.",
+    )
+
+
+def correlated_flash_scenario() -> ScenarioSpec:
+    """Three tenants' flash crowds land at the same instant (worst case).
+
+    The diurnal scenario keeps peaks 180 degrees apart; here every peak is
+    aligned, so there is no idle tenant to steal headroom from and the
+    controller sees one cluster-wide step in demand.
+    """
+    return _base(
+        "correlated_flash",
+        [
+            TenantSpec(SMALL_A, target_ops=2000.0),
+            TenantSpec(SMALL_B, target_ops=1800.0),
+            TenantSpec(SMALL_C, target_ops=2200.0),
+        ],
+        [
+            FlashCrowd(tenant="A", start_minute=3.0, ramp_minutes=1.0,
+                       hold_minutes=3.0, decay_minutes=1.0, magnitude=2.5),
+            FlashCrowd(tenant="B", start_minute=3.0, ramp_minutes=1.0,
+                       hold_minutes=3.0, decay_minutes=1.0, magnitude=2.5),
+            FlashCrowd(tenant="C", start_minute=3.0, ramp_minutes=1.0,
+                       hold_minutes=3.0, decay_minutes=1.0, magnitude=2.5),
+        ],
+        minutes=11.0,
+        assertions=(
+            NoOscillation(max_flips=1),
+            StaysWithin(min_nodes=2, max_nodes=6),
+        ),
+        description="Aligned 2.5x spikes on all three tenants at minute 3.",
+    )
+
+
+def slow_network_scenario() -> ScenarioSpec:
+    """A node's network link congests to 5% while CPU and disk stay healthy.
+
+    A scan-heavy tenant makes the network the scarce resource, so the
+    degradation starves cluster throughput by ~25% without moving the
+    CPU/IO metrics a system-level autoscaler watches -- the partial-fault
+    blind spot (neither controller reacts; the golden pins that).
+    """
+    return _base(
+        "slow_network",
+        [TenantSpec(SMALL_E, target_ops=700.0), TenantSpec(SMALL_C, target_ops=2600.0)],
+        [
+            NodeSlowdown(
+                minute=2.5, factor=1.0, network_factor=0.05, duration_minutes=4.0,
+            ),
+        ],
+        minutes=10.0,
+        # The recovery claim anchors its baseline to the *fault onset*, so
+        # the pre-fault healthy throughput is the bar: within five minutes
+        # of the slowdown starting, the cluster must be fully back (the
+        # fault itself lifts at 6.5m, just inside the deadline).  Anchoring
+        # to the recovery event instead would measure against the degraded
+        # throughput and pass vacuously.
+        assertions=(
+            StaysWithin(min_nodes=3, max_nodes=6),
+            RecoversWithin(minutes=5.0, after_label="node-slowdown", fraction=0.9),
+        ),
+        description="Network-only degradation to 5% on one node, 2.5m-6.5m.",
+    )
+
+
+def long_horizon_scenario() -> ScenarioSpec:
+    """Two simulated hours of aligned day/night cycles (oscillation bait).
+
+    Three full diurnal cycles with *aligned* tenant peaks tempt a threshold
+    controller into adding at every crest and removing at every trough; the
+    declared expectation bounds that thrash to the cycle count and keeps the
+    cluster inside its envelope.  Coarser ticks and control steps keep two
+    hours of simulated time inside the golden-suite budget.
+    """
+    return _base(
+        "long_horizon",
+        [TenantSpec(SMALL_A, target_ops=2200.0), TenantSpec(SMALL_C, target_ops=2600.0)],
+        [
+            DiurnalLoad(tenant="A", period_minutes=40.0, amplitude=0.7),
+            DiurnalLoad(tenant="C", period_minutes=40.0, amplitude=0.7),
+        ],
+        minutes=120.0,
+        tick_seconds=15.0,
+        control_interval_seconds=60.0,
+        monitor_period_seconds=30.0,
+        cooldown_seconds=240.0,
+        assertions=(
+            NoOscillation(max_flips=6),
+            StaysWithin(min_nodes=1, max_nodes=6),
+        ),
+        description="Three aligned 40m day/night cycles over two hours.",
+    )
+
+
 #: Every canned scenario, keyed by name.  The golden-trace suite runs each
 #: under both controllers; each stimulus family appears at least once.
 CANNED_SCENARIOS: dict[str, ScenarioSpec] = {
@@ -151,6 +285,10 @@ CANNED_SCENARIOS: dict[str, ScenarioSpec] = {
         mix_shift_scenario(),
         node_fault_scenario(),
         data_growth_scenario(),
+        cascading_failure_scenario(),
+        correlated_flash_scenario(),
+        slow_network_scenario(),
+        long_horizon_scenario(),
     )
 }
 

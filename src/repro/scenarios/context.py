@@ -152,10 +152,37 @@ class ScenarioContext:
         victim = self.faults.crash_node(node)
         return victim
 
-    def slow_node(self, node: str | None, factor: float) -> str:
-        """Degrade a node through the fault injector."""
-        victim = self.faults.slow_node(node, factor)
-        return f"{victim} factor={factor}"
+    def recover_crashed_node(self, node: str | None = None) -> str:
+        """Repair a crashed node so it rejoins the cluster.
+
+        Tolerant of the target not being crashed -- anonymous or named (a
+        scheduled rejoin may fire after the victim was already repaired, or
+        an earlier random crash may have picked a different machine): the
+        action becomes a no-op instead of aborting the run.
+        """
+        crashed = self.faults.crashed_nodes
+        if node is None:
+            if not crashed:
+                return "no crashed node"
+        elif node not in crashed:
+            return f"{node} not crashed"
+        return self.faults.recover_crashed_node(node)
+
+    def slow_node(
+        self,
+        node: str | None,
+        factor: float,
+        cpu: float | None = None,
+        disk: float | None = None,
+        network: float | None = None,
+    ) -> str:
+        """Degrade a node through the fault injector (per-resource aware)."""
+        victim = self.faults.slow_node(node, factor, cpu=cpu, disk=disk, network=network)
+        parts = [f"factor={factor}"]
+        for label, value in (("cpu", cpu), ("disk", disk), ("network", network)):
+            if value is not None:
+                parts.append(f"{label}={value}")
+        return f"{victim} " + " ".join(parts)
 
     def recover_node(self, node: str) -> str:
         """Restore a degraded node."""

@@ -8,8 +8,10 @@ controller must survive in production:
 * :class:`TenantArrival` / :class:`TenantDeparture` -- tenant churn.
 * :class:`MixShift` -- a tenant's operation mix morphing over a window
   (e.g. a read-mostly service turning write-heavy).
-* :class:`NodeCrash` / :class:`NodeSlowdown` -- fault injection through the
-  IaaS layer (crash; straggler with optional recovery).
+* :class:`NodeCrash` / :class:`NodeRecovery` / :class:`NodeSlowdown` --
+  fault injection through the IaaS layer (crash; repair-and-rejoin of a
+  crashed machine; straggler with optional recovery and per-resource
+  degradation factors, e.g. a network-only slowdown).
 * :class:`DataGrowthBurst` -- a tenant's dataset ballooning over a window.
 
 Every event compiles (``compile(spec, context)``) into
@@ -302,23 +304,60 @@ class NodeCrash:
 
 
 @dataclass(frozen=True)
+class NodeRecovery:
+    """A previously crashed node is repaired and rejoins the cluster.
+
+    With ``node=None`` the most recently crashed unrecovered node rejoins.
+    The machine boots for the usual IaaS boot delay before serving again,
+    which is what makes *cascading* failures interesting: a second
+    :class:`NodeCrash` can land while the first victim is still rebooting.
+    """
+
+    minute: float
+    node: str | None = None
+
+    def compile(self, spec: ScenarioSpec, context: ScenarioContext) -> list[ScheduledAction]:
+        return [
+            ScheduledAction(
+                time_seconds=self.minute * 60.0,
+                label="node-rejoin",
+                apply=lambda: context.recover_crashed_node(self.node),
+                annotate=True,
+            )
+        ]
+
+
+@dataclass(frozen=True)
 class NodeSlowdown:
     """A node degrades to ``factor`` of its hardware budgets (straggler).
 
-    With a ``duration_minutes`` the node recovers afterwards; the recovery
-    action targets whichever victim the slowdown picked at fire time.
+    The per-resource factors override ``factor`` for one budget each, so a
+    fault can hit a single resource -- ``network_factor=0.15`` with the
+    others untouched is a congested link (slow-network partition), not a
+    slow machine.  With a ``duration_minutes`` the node recovers afterwards;
+    the recovery action targets whichever victim the slowdown picked at fire
+    time.
     """
 
     minute: float
     node: str | None = None
     factor: float = 0.5
+    cpu_factor: float | None = None
+    disk_factor: float | None = None
+    network_factor: float | None = None
     duration_minutes: float | None = None
 
     def compile(self, spec: ScenarioSpec, context: ScenarioContext) -> list[ScheduledAction]:
         victim_cell: list[str] = []
 
         def slow() -> str:
-            detail = context.slow_node(self.node, self.factor)
+            detail = context.slow_node(
+                self.node,
+                self.factor,
+                cpu=self.cpu_factor,
+                disk=self.disk_factor,
+                network=self.network_factor,
+            )
             victim_cell.append(detail.split(" ", 1)[0])
             return detail
 

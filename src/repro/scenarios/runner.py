@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.core.framework import MeT
 from repro.core.parameters import MeTParameters
+from repro.scenarios.assertions import AssertionResult, evaluate_assertions
 from repro.elasticity.daemon import HBaseBalancerDaemon
 from repro.elasticity.strategies import manual_homogeneous
 from repro.elasticity.tiramola import Tiramola, TiramolaPolicy
@@ -55,6 +56,9 @@ class ScenarioRunResult:
     kernel: str
     run: StrategyRun
     decisions: list[dict] = field(default_factory=list)
+    #: Verdicts of the spec's declared assertions (those applicable to the
+    #: run's controller), in spec order.
+    assertions: list[AssertionResult] = field(default_factory=list)
     simulator: ClusterSimulator | None = None
     context: ScenarioContext | None = None
     machine_hours: float = 0.0
@@ -63,6 +67,11 @@ class ScenarioRunResult:
     def final_nodes(self) -> int:
         """Online nodes at the end of the run."""
         return self.run.final_nodes
+
+    @property
+    def assertions_passed(self) -> bool:
+        """Whether every evaluated assertion held (vacuously true if none)."""
+        return all(result.passed for result in self.assertions)
 
 
 def build_scenario(
@@ -168,7 +177,7 @@ def run_scenario(
         harness.add_controller(daemon)
     schedule = compile_spec(spec, context)
     run = harness.run_for(spec.duration_seconds, schedule=schedule)
-    return ScenarioRunResult(
+    result = ScenarioRunResult(
         spec=spec,
         controller=controller,
         kernel=kernel,
@@ -178,3 +187,5 @@ def run_scenario(
         context=context if keep_simulator else None,
         machine_hours=provider.machine_hours(),
     )
+    result.assertions = evaluate_assertions(result)
+    return result

@@ -56,6 +56,9 @@ class ScenarioSpec:
     name: str
     tenants: tuple[TenantSpec, ...]
     events: tuple = ()
+    #: Declared controller expectations (see :mod:`repro.scenarios.assertions`),
+    #: evaluated against the run and recorded in its trace.
+    assertions: tuple = ()
     duration_minutes: float = 10.0
     seed: int = 0
     initial_nodes: int = 3
@@ -103,3 +106,7 @@ class ScenarioSpec:
     def with_events(self, *events) -> "ScenarioSpec":
         """A copy of this spec with ``events`` appended."""
         return replace(self, events=tuple(self.events) + tuple(events))
+
+    def with_assertions(self, *assertions) -> "ScenarioSpec":
+        """A copy of this spec with ``assertions`` appended."""
+        return replace(self, assertions=tuple(self.assertions) + tuple(assertions))

@@ -24,7 +24,8 @@ from repro.scenarios.runner import ScenarioRunResult, run_scenario
 from repro.scenarios.spec import ScenarioSpec
 
 #: Trace schema version; bump when the shape changes and regenerate goldens.
-TRACE_FORMAT = 1
+#: Format 2 added the ``assertions`` verdict list (scenario assertions DSL).
+TRACE_FORMAT = 2
 
 #: Controllers every canned scenario is goldened under.
 GOLDEN_CONTROLLERS = ("met", "tiramola")
@@ -80,6 +81,14 @@ def result_trace(result: ScenarioRunResult) -> dict:
                 "detail": decision["detail"],
             }
             for decision in result.decisions
+        ],
+        "assertions": [
+            {
+                "assertion": verdict.assertion,
+                "passed": verdict.passed,
+                "detail": verdict.detail,
+            }
+            for verdict in result.assertions
         ],
         "per_tenant_throughput": {
             name: _round(value)

@@ -380,26 +380,58 @@ class ClusterSimulator:
         self.remove_node(node.name, reassign=True)
         return displaced
 
-    def degrade_node(self, name: str, factor: float) -> None:
-        """Slow a node down: scale its CPU/disk/network budgets by ``factor``.
+    def degrade_node(
+        self,
+        name: str,
+        factor: float = 1.0,
+        cpu: float | None = None,
+        disk: float | None = None,
+        network: float | None = None,
+    ) -> None:
+        """Slow a node down: scale its resource budgets.
+
+        ``factor`` scales every budget; the per-resource overrides replace it
+        for one resource, so partial faults can be modelled -- e.g. a
+        congested or partially partitioned link is ``network=0.15`` with CPU
+        and disk untouched, a failing disk is ``disk=0.3``.  ``disk`` scales
+        both the IOPS and the sequential-bandwidth budgets.
 
         Models a straggler VM (noisy neighbour, failing disk).  The original
         hardware is remembered so :meth:`restore_node` can undo the fault.
         Degradations do not compose: a second call rescales the *original*
         spec, so ``degrade_node(n, 1.0)`` is a restore.
         """
-        if not 0.0 < factor <= 1.0:
-            raise SimulationError(f"degradation factor must be in (0, 1], got {factor!r}")
+        cpu_factor = factor if cpu is None else cpu
+        disk_factor = factor if disk is None else disk
+        network_factor = factor if network is None else network
+        for label, value in (
+            ("cpu", cpu_factor), ("disk", disk_factor), ("network", network_factor)
+        ):
+            if not 0.0 < value <= 1.0:
+                raise SimulationError(
+                    f"{label} degradation factor must be in (0, 1], got {value!r}"
+                )
         node = self._node(name)
         base = self._base_hardware.setdefault(name, node.hardware)
         node.hardware = HardwareSpec(
-            cpu_millis_per_second=base.cpu_millis_per_second * factor,
-            disk_iops=base.disk_iops * factor,
-            disk_mb_per_second=base.disk_mb_per_second * factor,
-            network_mb_per_second=base.network_mb_per_second * factor,
+            cpu_millis_per_second=base.cpu_millis_per_second * cpu_factor,
+            disk_iops=base.disk_iops * disk_factor,
+            disk_mb_per_second=base.disk_mb_per_second * disk_factor,
+            network_mb_per_second=base.network_mb_per_second * network_factor,
             memory_bytes=base.memory_bytes,
             heap_bytes=base.heap_bytes,
         )
+
+    def base_hardware(self, name: str) -> HardwareSpec | None:
+        """A node's pre-degradation hardware (its current spec if healthy).
+
+        ``None`` for unknown nodes; fault tooling uses this to repair a
+        crashed straggler at full health.
+        """
+        node = self.nodes.get(name)
+        if node is None:
+            return None
+        return self._base_hardware.get(name, node.hardware)
 
     def restore_node(self, name: str) -> None:
         """Undo a :meth:`degrade_node` fault.

@@ -169,6 +169,18 @@ class NodeLoadResult:
     demand: ServiceDemand
     hit_ratio: float
     per_op_latency_ms: dict[str, float] = field(default_factory=dict)
+    #: Which resource bounds this node ("cpu", "disk" or "network") -- what a
+    #: per-resource fault (e.g. a network-only slowdown) shifts.
+    bottleneck: str = "cpu"
+
+
+def _bottleneck(cpu_util: float, io_wait: float, net_util: float) -> str:
+    """Name of the resource with the highest utilisation (ties favour CPU)."""
+    if cpu_util >= io_wait and cpu_util >= net_util:
+        return "cpu"
+    if io_wait >= net_util:
+        return "disk"
+    return "network"
 
 
 class PerformanceModel:
@@ -375,6 +387,7 @@ class PerformanceModel:
             demand=demand,
             hit_ratio=hit,
             per_op_latency_ms=latencies,
+            bottleneck=_bottleneck(cpu_util, io_wait, net_util),
         )
 
     def _latencies(
@@ -727,6 +740,7 @@ class NodeEvaluator:
             ),
             hit_ratio=hit,
             per_op_latency_ms=self._latency_dict(hit, miss, utilization, mean_locality),
+            bottleneck=_bottleneck(cpu_util, io_wait, net_util),
         )
 
     def evaluate(

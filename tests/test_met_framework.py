@@ -15,6 +15,7 @@ from repro.elasticity.strategies import (
     manual_homogeneous,
     random_homogeneous,
 )
+from repro.elasticity.autoscaler import AutoscalerAction
 from repro.elasticity.tiramola import Tiramola, TiramolaPolicy
 from repro.experiments.harness import apply_placement
 from repro.hbase.cluster import MiniHBaseCluster
@@ -225,6 +226,204 @@ class TestTiramola:
             tiramola.step(simulator.clock.now)
         # An idle cluster shrinks (every node below the low threshold).
         assert len(simulator.nodes) < 3
+
+
+class ScriptedBackend:
+    """Minimal metrics backend with scripted per-node loads.
+
+    Lets the Tiramola regression tests control exactly what each sample
+    observes, including nodes vanishing mid-decision-window.
+    """
+
+    def __init__(self, loads: dict[str, float]) -> None:
+        self.loads = dict(loads)
+        self.added: list[str] = []
+        self.removed: list[str] = []
+
+    def online_node_names(self):
+        return sorted(self.loads)
+
+    def node_system_metrics(self, name):
+        return {"cpu": self.loads[name], "io_wait": 0.0, "memory": 0.5}
+
+    def add_node(self, config, profile_name):
+        name = f"auto-{len(self.added) + 1}"
+        self.added.append(name)
+        self.loads[name] = 0.0
+        return name
+
+    def remove_node(self, name):
+        self.removed.append(name)
+        self.loads.pop(name)
+
+
+class TestTiramolaFaultWindows:
+    """Regression tests for the fault-window sampling bugs (both failed on
+    the pre-fix controller)."""
+
+    def test_crashed_node_samples_do_not_suppress_an_add(self):
+        """Two dead idle nodes used to dilute the overload quorum below the
+        add threshold; offline nodes must be dropped at decision time."""
+        backend = ScriptedBackend({"h1": 0.95, "d1": 0.05, "d2": 0.05})
+        policy = TiramolaPolicy(
+            decision_samples=4, monitor_period_seconds=30.0, cooldown_seconds=0.0
+        )
+        tiramola = Tiramola(backend, policy)
+        tiramola.step(30.0)
+        tiramola.step(60.0)
+        # Both idle nodes crash mid-window; their samples linger.
+        del backend.loads["d1"]
+        del backend.loads["d2"]
+        tiramola.step(90.0)
+        tiramola.step(120.0)
+        # The surviving node is overloaded: 1/1 >= quorum. Pre-fix the two
+        # ghosts made it 1/3 < 0.5 and the needed ADD never happened.
+        assert backend.added, "crashed nodes suppressed a needed ADD"
+
+    def test_crashed_nodes_do_not_licence_removing_the_last_healthy_node(self):
+        """`online` used to count dead nodes, so an idle 1-node cluster
+        looked like 3 nodes and the min_nodes floor did not hold.  Driven
+        through the real simulator backend via fail_node."""
+        simulator = ClusterSimulator()
+        names = [simulator.add_node() for _ in range(3)]
+        backend = SimulatorBackend(simulator)
+        policy = TiramolaPolicy(
+            decision_samples=4, monitor_period_seconds=30.0,
+            cooldown_seconds=0.0, min_nodes=1,
+        )
+        tiramola = Tiramola(backend, policy)
+        tiramola.step(30.0)
+        tiramola.step(60.0)
+        simulator.fail_node(names[0])
+        simulator.fail_node(names[1])
+        tiramola.step(90.0)
+        tiramola.step(120.0)
+        # Pre-fix: online looked like 3 > min_nodes and every load was idle,
+        # so the one surviving node was removed, leaving an empty cluster.
+        assert len(simulator.nodes) == 1
+        assert tiramola.log.count(AutoscalerAction.REMOVE_NODE) == 0
+
+    def test_cooldown_does_not_inflate_the_decision_window(self):
+        """Samples taken during cooldown used to accumulate unboundedly, so
+        the first post-cooldown decision averaged the whole cooldown
+        (mostly pre-settle load) and missed the scale-in."""
+        backend = ScriptedBackend({"n1": 0.95, "n2": 0.95})
+        policy = TiramolaPolicy(
+            decision_samples=2, monitor_period_seconds=30.0,
+            cooldown_seconds=300.0, min_nodes=1,
+        )
+        tiramola = Tiramola(backend, policy)
+        tiramola.step(30.0)
+        tiramola.step(60.0)  # decision: overloaded 2/2 -> ADD, cooldown starts
+        assert backend.added
+        # Pre-settle load persists deep into the cooldown...
+        for t in (90.0, 120.0, 150.0, 180.0, 210.0, 240.0, 270.0):
+            tiramola.step(t)
+            for values in tiramola._samples.values():
+                assert len(values) <= policy.decision_samples, (
+                    "cooldown grew the window past decision_samples"
+                )
+        # ...then the add settles things and the cluster goes idle.
+        for name in backend.loads:
+            backend.loads[name] = 0.05
+        tiramola.step(300.0)
+        tiramola.step(330.0)
+        tiramola.step(360.0)  # cooldown over; window = freshest samples only
+        assert backend.removed, (
+            "stale pre-settle samples suppressed the post-cooldown scale-in"
+        )
+
+
+class TestActuatorCrashTolerance:
+    """A node crashing mid-plan must not wedge or abort the actuator."""
+
+    def _met_with_plan(self):
+        simulator = ClusterSimulator()
+        nodes = [simulator.add_node() for _ in range(3)]
+        scenario = build_paper_scenario(simulator)
+        plan = manual_homogeneous(scenario.expected_partition_workloads(), nodes)
+        apply_placement(simulator, plan)
+        return simulator, SimulatorBackend(simulator), nodes
+
+    def test_restart_target_crashing_is_skipped(self):
+        from repro.core.actuator import Actuator, ActuatorPhase
+        from repro.core.decision import ReconfigurationPlan
+        from repro.core.output import NodeTarget
+
+        simulator, backend, nodes = self._met_with_plan()
+        actuator = Actuator(backend)
+        plan = ReconfigurationPlan(
+            timestamp=0.0,
+            initial=False,
+            targets=[
+                NodeTarget(node=nodes[0], profile="read", needs_restart=True),
+                NodeTarget(node=nodes[1], profile="write", needs_restart=True),
+            ],
+        )
+        assert actuator.submit(plan, now=0.0)
+        # The first target crashes before the actuator reaches it.
+        simulator.fail_node(nodes[0])
+        for _ in range(40):
+            simulator.tick()
+            actuator.step(simulator.clock.now)
+            if actuator.phase is ActuatorPhase.IDLE:
+                break
+        assert actuator.phase is ActuatorPhase.IDLE, "actuator wedged on a ghost"
+        # Only the surviving target was restarted.
+        assert actuator.report.nodes_reconfigured == 1
+
+    def test_provisioned_node_crashing_while_booting_is_abandoned(self):
+        from repro.core.actuator import Actuator, ActuatorPhase
+        from repro.core.decision import ReconfigurationPlan
+        from repro.core.output import NodeTarget
+
+        simulator, backend, _ = self._met_with_plan()
+        actuator = Actuator(backend)
+        placeholder = "<new-node-1>"
+        plan = ReconfigurationPlan(
+            timestamp=0.0,
+            initial=False,
+            targets=[NodeTarget(node=placeholder, profile="read")],
+            new_nodes=[placeholder],
+        )
+        assert actuator.submit(plan, now=0.0)
+        assert actuator.phase is ActuatorPhase.PROVISIONING
+        # The freshly provisioned VM dies while still booting.
+        real_name = next(iter(actuator._inflight.placeholder_map.values()))
+        simulator.fail_node(real_name)
+        for _ in range(40):
+            simulator.tick()
+            actuator.step(simulator.clock.now)
+            if actuator.phase is ActuatorPhase.IDLE:
+                break
+        assert actuator.phase is ActuatorPhase.IDLE, (
+            "actuator waited forever for a node that crashed while booting"
+        )
+
+    def test_node_crashing_during_its_restart_is_abandoned(self):
+        from repro.core.actuator import Actuator, ActuatorPhase
+        from repro.core.decision import ReconfigurationPlan
+        from repro.core.output import NodeTarget
+
+        simulator, backend, nodes = self._met_with_plan()
+        actuator = Actuator(backend)
+        plan = ReconfigurationPlan(
+            timestamp=0.0,
+            initial=False,
+            targets=[NodeTarget(node=nodes[0], profile="read", needs_restart=True)],
+        )
+        assert actuator.submit(plan, now=0.0)
+        actuator.step(0.0)  # issues the restart
+        assert actuator.phase is ActuatorPhase.WAITING_RESTART
+        simulator.fail_node(nodes[0])  # dies while restarting
+        for _ in range(40):
+            simulator.tick()
+            actuator.step(simulator.clock.now)
+            if actuator.phase is ActuatorPhase.IDLE:
+                break
+        assert actuator.phase is ActuatorPhase.IDLE, (
+            "actuator waited forever for a node that will never come back"
+        )
 
 
 class TestStrategies:

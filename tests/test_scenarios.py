@@ -9,6 +9,7 @@ from repro.scenarios import (
     FlashCrowd,
     MixShift,
     NodeCrash,
+    NodeRecovery,
     NodeSlowdown,
     ScenarioSpec,
     TenantArrival,
@@ -373,6 +374,128 @@ class TestFaultEvents:
             simulator.degrade_node(name, 0.0)
         with pytest.raises(SimulationError):
             simulator.degrade_node(name, 1.5)
+
+    def test_crash_without_provider_keeps_vm_mapping(self):
+        """Regression: crash_node used to pop the node->instance mapping even
+        with no provider attached, losing the inventory record."""
+        from repro.iaas.faults import FaultInjector
+
+        simulator = ClusterSimulator()
+        name = simulator.add_node()
+        vm_ids = {name: "vm-99"}
+        injector = FaultInjector(simulator, provider=None, vm_ids=vm_ids, seed=1)
+        injector.crash_node(name)
+        assert vm_ids == {name: "vm-99"}, "mapping consumed without a provider fault"
+
+    def test_recover_crashed_node_rejoins_and_relaunches_vm(self):
+        from repro.core.backends import SimulatorBackend
+        from repro.hbase.config import DEFAULT_HOMOGENEOUS
+        from repro.iaas.faults import FaultInjector
+        from repro.iaas.provider import OpenStackProvider
+
+        simulator = ClusterSimulator()
+        simulator.add_node()
+        provider = OpenStackProvider(simulator.clock, boot_seconds=30.0)
+        backend = SimulatorBackend(simulator, provider=provider)
+        name = backend.add_node(DEFAULT_HOMOGENEOUS, "default")
+        simulator.run(60.0)
+        injector = FaultInjector(
+            simulator, provider=provider, vm_ids=backend.vm_ids, seed=1
+        )
+        old_vm = backend.vm_ids[name]
+        injector.crash_node(name)
+        assert injector.crashed_nodes == [name]
+        recovered = injector.recover_crashed_node()
+        assert recovered == name
+        assert injector.crashed_nodes == []
+        # A replacement instance backs the rejoined node; the dead one stays
+        # in the inventory in ERROR for accounting.
+        assert backend.vm_ids[name] != old_vm
+        assert name in simulator.nodes
+        assert not simulator.nodes[name].online  # boots first
+        simulator.run(simulator.boot_seconds + simulator.clock.tick_seconds)
+        assert simulator.nodes[name].online
+
+    def test_recover_crashed_straggler_rejoins_at_full_health(self):
+        from repro.iaas.faults import FaultInjector
+
+        simulator = ClusterSimulator()
+        name = simulator.add_node()
+        healthy = simulator.nodes[name].hardware
+        simulator.degrade_node(name, 0.5)
+        injector = FaultInjector(simulator, seed=1)
+        injector.crash_node(name)
+        injector.recover_crashed_node(name)
+        assert simulator.nodes[name].hardware == healthy
+
+    def test_recover_without_crash_raises_but_event_is_tolerant(self):
+        from repro.iaas.faults import FaultInjector
+
+        spec = two_tenant_spec(events=(NodeRecovery(minute=1.0),))
+        simulator, _, context, _ = build_scenario(spec)
+        injector = FaultInjector(simulator, seed=1)
+        with pytest.raises(RuntimeError, match="no crashed node"):
+            injector.recover_crashed_node()
+        # The scheduled event becomes a no-op instead of aborting the run.
+        schedule = compile_spec(spec, context)
+        fired = schedule.fire_due(60.0)
+        assert [a.label for a in fired] == ["node-rejoin"]
+        assert fired[0].detail == "no crashed node"
+        # A *named* rejoin of a healthy node is equally tolerant.
+        assert context.recover_crashed_node("rs-1") == "rs-1 not crashed"
+
+    def test_crash_recover_crash_cascade(self):
+        """The cascading-failure primitive: a second crash lands while the
+        first victim is still booting back."""
+        spec = two_tenant_spec(
+            duration_minutes=8.0,
+            events=(
+                NodeCrash(minute=1.0),
+                NodeRecovery(minute=2.0),
+                NodeCrash(minute=3.0),
+            ),
+        )
+        result = run_scenario(spec, controller="none")
+        labels = [a.label for a in result.run.annotations]
+        assert labels.count("node-crash") == 2
+        assert labels.count("node-rejoin") == 1
+        # Started with 3: -1 crash, +1 rejoin, -1 crash = 2 online at the end.
+        assert result.final_nodes == 2
+
+    def test_network_only_slowdown_leaves_cpu_and_disk_budgets(self):
+        spec = two_tenant_spec(
+            events=(
+                NodeSlowdown(minute=1.0, factor=1.0, network_factor=0.2),
+            ),
+        )
+        simulator, _, context, _ = build_scenario(spec)
+        healthy = next(iter(simulator.nodes.values())).hardware
+        schedule = compile_spec(spec, context)
+        fired = schedule.fire_due(60.0)
+        victim = fired[0].detail.split(" ", 1)[0]
+        degraded = simulator.nodes[victim].hardware
+        assert degraded.network_mb_per_second == pytest.approx(
+            healthy.network_mb_per_second * 0.2
+        )
+        assert degraded.cpu_millis_per_second == healthy.cpu_millis_per_second
+        assert degraded.disk_iops == healthy.disk_iops
+        assert degraded.disk_mb_per_second == healthy.disk_mb_per_second
+
+    def test_network_degradation_shifts_the_bottleneck(self):
+        """The cost model pins a scan-heavy node on its (degraded) network."""
+        from repro.hbase.config import DEFAULT_HOMOGENEOUS
+        from repro.simulation.hardware import HardwareSpec
+        from repro.simulation.perfmodel import PerformanceModel, RegionLoadProfile
+
+        region = RegionLoadProfile(
+            region_id="r", size_bytes=512 * 1024 * 1024, scan_rate=120.0,
+        )
+        config = DEFAULT_HOMOGENEOUS.validate()
+        healthy = PerformanceModel(HardwareSpec()).evaluate_node(config, [region])
+        degraded_hw = HardwareSpec(network_mb_per_second=110.0 * 0.1)
+        degraded = PerformanceModel(degraded_hw).evaluate_node(config, [region])
+        assert degraded.bottleneck == "network"
+        assert degraded.utilization > healthy.utilization
 
     def test_crash_through_provider_marks_vm_error(self):
         from repro.core.backends import SimulatorBackend
