@@ -4,7 +4,10 @@
 Composes two stimulus families into one custom scenario -- phase-shifted
 day/night sinusoids on two tenants, plus a node crash in the middle of
 tenant A's peak -- and runs it under MeT, printing the annotated time
-series.  Also lists the canned catalog the golden-trace suite locks down.
+series with the per-tenant latency view.  Then runs the *whole* canned
+catalog under both controllers and prints the MeT-vs-Tiramola scorecard:
+SLO violation-minutes, run cost and throughput, side by side (the
+quality-per-dollar comparison of the paper's Section 6.4, generalised).
 
 Run with:  PYTHONPATH=src python examples/scenario_gallery.py
 """
@@ -18,6 +21,7 @@ from repro.scenarios import (
     run_scenario,
 )
 from repro.scenarios.catalog import SMALL_A, SMALL_C
+from repro.sla.scorecard import render_scorecard, scenario_scorecard
 
 
 def diurnal_with_failure() -> ScenarioSpec:
@@ -61,11 +65,29 @@ def main() -> None:
         print(f"  minute {decision['minute']:5.1f}  {decision['kind']}  {decision['detail']}")
 
     print(f"\nfinal nodes: {result.final_nodes}, "
-          f"machine-minutes: {result.run.machine_minutes:,.0f}")
+          f"machine-minutes: {result.run.machine_minutes:,.0f}, "
+          f"cost: {result.cost.total:.3f}")
+
+    print("\nper-tenant latency (ms per sampled minute):")
+    for tenant, points in sorted(result.run.tenant_series.items()):
+        bars = " ".join(f"{p.latency_ms:5.2f}" for p in points)
+        print(f"  {tenant:12s} {bars}")
 
     print("\ncanned catalog (golden-traced under MeT and tiramola):")
     for name, canned in sorted(CANNED_SCENARIOS.items()):
-        print(f"  {name:13s} {canned.description}")
+        print(f"  {name:17s} {canned.description}")
+
+    print("\nMeT vs Tiramola scorecard (full catalog):")
+    rows = scenario_scorecard()
+    print(render_scorecard(rows))
+    for controller in ("met", "tiramola"):
+        mine = [row for row in rows if row.controller == controller]
+        print(
+            f"  {controller:9s} totals: "
+            f"{sum(r.violation_minutes for r in mine):6.1f} violation-minutes, "
+            f"cost {sum(r.cost for r in mine):6.3f}, "
+            f"{sum(r.machine_minutes for r in mine):7.1f} machine-minutes"
+        )
 
 
 if __name__ == "__main__":

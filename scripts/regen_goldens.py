@@ -15,13 +15,19 @@ CI runs the drift gate:
     PYTHONPATH=src python scripts/regen_goldens.py --check
 
 which regenerates every trace in memory and exits non-zero if any committed
-golden differs (or is missing, or is stale -- a file no scenario produces),
-so goldens cannot drift without an explicit regen commit.
+golden differs (or is missing, or is stale -- a file no scenario produces).
+Value drift and *schema-format* staleness are reported distinctly: a golden
+still carrying an older TRACE_FORMAT needs a regen commit, not a hunt
+through hundreds of spurious value diffs.  ``--diff-report PATH`` writes a
+unified diff of every out-of-sync golden (CI uploads it as a workflow
+artifact so the drift is reviewable without reproducing the run).
 """
 
 from __future__ import annotations
 
 import argparse
+import difflib
+import json
 import sys
 from pathlib import Path
 
@@ -29,7 +35,11 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.scenarios import CANNED_SCENARIOS, scenario_trace, trace_to_json  # noqa: E402
-from repro.scenarios.trace import GOLDEN_CONTROLLERS, golden_name  # noqa: E402
+from repro.scenarios.trace import (  # noqa: E402
+    GOLDEN_CONTROLLERS,
+    TRACE_FORMAT,
+    golden_name,
+)
 
 GOLDEN_DIR = REPO_ROOT / "tests" / "golden"
 
@@ -53,18 +63,82 @@ def regenerate() -> None:
         print(f"{'updated ' if changed else 'unchanged'} {path.relative_to(REPO_ROOT)}")
 
 
-def check() -> int:
+def _display(path: Path) -> Path:
+    """Repo-relative rendering of a golden path (as-is when outside the repo)."""
+    try:
+        return path.relative_to(REPO_ROOT)
+    except ValueError:
+        return path
+
+
+#: Sentinel for committed goldens that do not parse as JSON at all.
+_UNPARSEABLE = object()
+
+
+def _committed_format(text: str) -> object:
+    """The ``format`` field of a committed golden.
+
+    ``None`` means the file parses but carries no format tag (a pre-format
+    schema, handled as stale); :data:`_UNPARSEABLE` means the JSON itself is
+    damaged (truncated write, conflict markers).
+    """
+    try:
+        return json.loads(text).get("format")
+    except (json.JSONDecodeError, AttributeError):
+        return _UNPARSEABLE
+
+
+def check(diff_report: Path | None = None) -> int:
     expected = expected_payloads()
     problems: list[str] = []
+    diffs: list[str] = []
     for path, payload in expected.items():
-        name = path.relative_to(REPO_ROOT)
+        name = _display(path)
         if not path.exists():
-            problems.append(f"missing   {name}")
-        elif path.read_text() != payload:
-            problems.append(f"drifted   {name}")
-    committed = set(GOLDEN_DIR.glob("*.json")) if GOLDEN_DIR.exists() else set()
-    for stale in sorted(committed - set(expected)):
-        problems.append(f"stale     {stale.relative_to(REPO_ROOT)}")
+            problems.append(f"missing       {name}")
+            continue
+        committed = path.read_text()
+        if committed == payload:
+            continue
+        committed_format = _committed_format(committed)
+        if committed_format is _UNPARSEABLE:
+            # Damaged JSON (truncated write, conflict markers) is not a
+            # schema-version problem: label it as such and keep the full
+            # diff so the damage is visible in the report.
+            problems.append(f"unparseable   {name}")
+        elif committed_format != TRACE_FORMAT:
+            # Schema staleness, reported distinctly from value drift: the
+            # file predates a trace-format bump and *must* be regenerated;
+            # diffing its values against the new schema is noise, so the
+            # report gets a one-line marker instead of a unified diff.
+            problems.append(
+                f"stale-format  {name} (format {committed_format!r}, "
+                f"expected {TRACE_FORMAT})"
+            )
+            diffs.append(
+                f"# {name}: stale trace format {committed_format!r} "
+                f"(expected {TRACE_FORMAT}); value diff suppressed\n"
+            )
+            continue
+        else:
+            problems.append(f"drifted       {name}")
+        diffs.append(
+            "".join(
+                difflib.unified_diff(
+                    committed.splitlines(keepends=True),
+                    payload.splitlines(keepends=True),
+                    fromfile=f"committed/{name}",
+                    tofile=f"expected/{name}",
+                )
+            )
+        )
+    committed_files = set(GOLDEN_DIR.glob("*.json")) if GOLDEN_DIR.exists() else set()
+    for orphan in sorted(committed_files - set(expected)):
+        problems.append(f"orphaned      {_display(orphan)}")
+    if diff_report is not None:
+        diff_report.write_text("".join(diffs))
+        if diffs:
+            print(f"wrote drift diff to {diff_report}")
     if problems:
         print("golden traces out of sync with the catalog:")
         for problem in problems:
@@ -85,9 +159,16 @@ def main() -> None:
         action="store_true",
         help="verify committed goldens instead of rewriting them",
     )
+    parser.add_argument(
+        "--diff-report",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="with --check: write a unified diff of out-of-sync goldens to PATH",
+    )
     args = parser.parse_args()
     if args.check:
-        raise SystemExit(check())
+        raise SystemExit(check(diff_report=args.diff_report))
     regenerate()
 
 

@@ -33,6 +33,23 @@ class TimeSeriesPoint:
 
 
 @dataclass
+class TenantSeriesPoint:
+    """One per-tenant quality sample: what *this* tenant experienced.
+
+    ``throughput`` and ``latency_ms`` are the tenant's tick-level series
+    (recorded every tick into the simulator's
+    :class:`~repro.simulation.metrics.MetricsRegistry`) averaged over the
+    sampling window ending at ``minute``, so a sample reflects the whole
+    window rather than the instant the sampler happened to fire.  The SLA
+    layer (:mod:`repro.sla`) judges SLO compliance against these points.
+    """
+
+    minute: float
+    throughput: float
+    latency_ms: float
+
+
+@dataclass
 class RunAnnotation:
     """A scenario event that fired during the run, for traces and plots."""
 
@@ -47,6 +64,9 @@ class StrategyRun:
 
     name: str
     series: list[TimeSeriesPoint] = field(default_factory=list)
+    #: Per-tenant quality series keyed by binding name (e.g. ``workload-A``);
+    #: tenants arriving mid-run start their series at their first sample.
+    tenant_series: dict[str, list[TenantSeriesPoint]] = field(default_factory=dict)
     per_workload_throughput: dict[str, float] = field(default_factory=dict)
     annotations: list[RunAnnotation] = field(default_factory=list)
     total_operations: float = 0.0
@@ -89,6 +109,18 @@ class StrategyRun:
         counts = [point.nodes for point in self.series]
         return min(counts), max(counts)
 
+    def tenant_peak_latency(self, tenant: str) -> float:
+        """Largest recorded latency sample of one tenant (0.0 when absent)."""
+        points = self.tenant_series.get(tenant, [])
+        return max((point.latency_ms for point in points), default=0.0)
+
+    def tenant_mean_latency(self, tenant: str) -> float:
+        """Mean recorded latency of one tenant (0.0 when absent)."""
+        points = self.tenant_series.get(tenant, [])
+        if not points:
+            return 0.0
+        return sum(point.latency_ms for point in points) / len(points)
+
 
 def apply_placement(simulator: ClusterSimulator, plan: PlacementPlan) -> None:
     """Apply a placement plan: node configurations and region assignment.
@@ -114,13 +146,19 @@ class ExperimentHarness:
         simulator: ClusterSimulator,
         name: str = "run",
         sample_every_seconds: float = 60.0,
+        record_tenant_series: bool = True,
     ) -> None:
         self.simulator = simulator
         self.run = StrategyRun(name=name)
         self.sample_every_seconds = sample_every_seconds
+        #: Whether per-tenant latency/throughput series are sampled into the
+        #: run.  On by default; pure-throughput benchmarks that only want the
+        #: cluster series can turn it off (see PERFORMANCE.md).
+        self.record_tenant_series = record_tenant_series
         self._controllers: list = []
         self._machine_seconds = 0.0
         self._next_sample = 0.0
+        self._last_sample_time = 0.0
 
     def add_controller(self, controller) -> None:
         """Register a controller whose ``step(now)`` is called every tick."""
@@ -182,6 +220,24 @@ class ExperimentHarness:
                 nodes=self.simulator.online_node_count(),
             )
         )
+        if self.record_tenant_series:
+            self._sample_tenants(now)
+        self._last_sample_time = now
+
+    def _sample_tenants(self, now: float) -> None:
+        """One TenantSeriesPoint per live tenant: window means of the
+        tick-level latency/throughput series the simulator records."""
+        metrics = self.simulator.metrics
+        minute = now / 60.0
+        start = self._last_sample_time
+        tenant_series = self.run.tenant_series
+        for name in self.simulator.bindings:
+            entity = f"workload:{name}"
+            throughput = metrics.series(entity, "throughput").mean_between(start, now)
+            latency = metrics.series(entity, "latency_ms").mean_between(start, now)
+            tenant_series.setdefault(name, []).append(
+                TenantSeriesPoint(minute=minute, throughput=throughput, latency_ms=latency)
+            )
 
     def _finalise(self) -> None:
         self.run.total_operations = self.simulator.total_ops

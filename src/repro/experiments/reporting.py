@@ -44,6 +44,38 @@ def percentiles(values: list[float], points: tuple[int, ...] = (5, 25, 50, 75, 9
     return result
 
 
+def format_matchup(rows, key, group, columns) -> str:
+    """Render grouped rows side by side (one line per key, groups as columns).
+
+    ``rows`` is any iterable of records; ``key(row)`` labels the line (e.g.
+    the scenario name), ``group(row)`` names the competitor (e.g. the
+    controller) and ``columns`` is a list of ``(label, fmt)`` pairs applied
+    to each record.  Groups appear in first-seen order; a key missing a
+    group's record renders blanks.  This is the shape of the SLA
+    scorecard -- MeT and Tiramola judged on the same metrics, one scenario
+    per line.
+    """
+    keys: list[str] = []
+    groups: list[str] = []
+    cells: dict[tuple[str, str], list[str]] = {}
+    for row in rows:
+        k, g = key(row), group(row)
+        if k not in keys:
+            keys.append(k)
+        if g not in groups:
+            groups.append(g)
+        cells[(k, g)] = [fmt(row) for _, fmt in columns]
+    headers = ["scenario"] + [
+        f"{g}:{label}" for g in groups for label, _ in columns
+    ]
+    blank = [""] * len(columns)
+    table_rows = [
+        [k] + [cell for g in groups for cell in cells.get((k, g), blank)]
+        for k in keys
+    ]
+    return format_table(headers, table_rows)
+
+
 @dataclass
 class Comparison:
     """A paper-vs-measured comparison row for EXPERIMENTS.md."""

@@ -125,6 +125,23 @@ class OpenStackProvider:
         self.refresh()
         return sum(vm.uptime(self.clock.now) for vm in self.instances.values()) / 3600.0
 
+    def machine_minutes_by_flavor(self) -> dict[str, float]:
+        """Machine-minutes consumed per flavor -- the billing ledger.
+
+        Every instance that ever became ACTIVE contributes its uptime under
+        its flavor's name (ERROR/DELETED instances up to their termination),
+        which is exactly what a :class:`~repro.sla.cost.PricingModel` turns
+        into money.  Sorted by flavor name for deterministic serialisation.
+        """
+        self.refresh()
+        ledger: dict[str, float] = {}
+        for vm in self.instances.values():
+            minutes = vm.uptime(self.clock.now) / 60.0
+            if minutes > 0.0:
+                name = vm.flavor.name
+                ledger[name] = ledger.get(name, 0.0) + minutes
+        return dict(sorted(ledger.items()))
+
     def _instance(self, instance_id: str) -> VirtualMachine:
         try:
             return self.instances[instance_id]

@@ -15,10 +15,13 @@ from repro.scenarios.assertions import (
     RECONFIGURE,
     REMOVE_NODE,
     AssertionResult,
+    CostCeiling,
+    LatencyWithin,
     NoOscillation,
     ReconfiguresBefore,
     RecoversWithin,
     ScenarioAssertion,
+    SLOViolationsBelow,
     StaysWithin,
     controller_actions,
     evaluate_assertions,
@@ -45,7 +48,9 @@ from repro.scenarios.runner import (
 from repro.scenarios.schedule import EventSchedule, ScheduledAction, compile_spec
 from repro.scenarios.spec import ScenarioSpec, TenantSpec, binding_name
 from repro.scenarios.trace import (
+    TraceFormatError,
     diff_traces,
+    load_trace,
     result_trace,
     scenario_trace,
     trace_to_json,
@@ -58,10 +63,12 @@ __all__ = [
     "AssertionResult",
     "CANNED_SCENARIOS",
     "CONTROLLERS",
+    "CostCeiling",
     "DataGrowthBurst",
     "DiurnalLoad",
     "EventSchedule",
     "FlashCrowd",
+    "LatencyWithin",
     "MixShift",
     "NoOscillation",
     "NodeCrash",
@@ -69,6 +76,7 @@ __all__ = [
     "NodeSlowdown",
     "ReconfiguresBefore",
     "RecoversWithin",
+    "SLOViolationsBelow",
     "ScenarioAssertion",
     "ScenarioContext",
     "ScenarioRunResult",
@@ -78,6 +86,7 @@ __all__ = [
     "TenantArrival",
     "TenantDeparture",
     "TenantSpec",
+    "TraceFormatError",
     "binding_name",
     "build_scenario",
     "canned_scenario",
@@ -85,6 +94,7 @@ __all__ = [
     "controller_actions",
     "diff_traces",
     "evaluate_assertions",
+    "load_trace",
     "result_trace",
     "run_scenario",
     "scenario_trace",

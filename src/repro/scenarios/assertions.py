@@ -24,7 +24,13 @@ Vocabulary:
   (a crash, the end of a flash crowd), throughput returns to a fraction of
   its pre-event baseline within a deadline;
 * :class:`StaysWithin` -- the observed cluster size stays inside
-  ``[min_nodes, max_nodes]`` for the whole run.
+  ``[min_nodes, max_nodes]`` for the whole run;
+* :class:`LatencyWithin` -- one tenant's recorded latency series stays
+  under a ceiling (the per-tenant quality view of :mod:`repro.sla`);
+* :class:`SLOViolationsBelow` -- the spec-declared SLO of a tenant accrues
+  at most ``max_violation_minutes`` of violation time;
+* :class:`CostCeiling` -- the run's cost envelope under a named pricing
+  model stays under a budget.
 
 Every assertion takes a ``controllers`` filter (``None`` = all): an
 expectation like "reconfigure first" is meaningful for MeT but vacuous for
@@ -34,6 +40,9 @@ a baseline that *cannot* reconfigure, so catalog specs scope it.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
+
+from repro.sla.cost import DEFAULT_PRICING, pricing_model
+from repro.sla.slo import post_warmup_points, tenant_points
 
 __all__ = [
     "ADD_NODE",
@@ -45,6 +54,9 @@ __all__ = [
     "NoOscillation",
     "RecoversWithin",
     "StaysWithin",
+    "LatencyWithin",
+    "SLOViolationsBelow",
+    "CostCeiling",
     "controller_actions",
     "evaluate_assertions",
 ]
@@ -247,6 +259,100 @@ class StaysWithin(ScenarioAssertion):
         if self.max_nodes is not None and high > self.max_nodes:
             return self._verdict(False, f"grew to {high} nodes (ceiling {self.max_nodes})")
         return self._verdict(True, f"observed {low}..{high} nodes")
+
+
+@dataclass(frozen=True)
+class LatencyWithin(ScenarioAssertion):
+    """Every recorded latency sample of ``tenant`` stays under ``ceiling_ms``.
+
+    Judges the per-tenant series the harness records (window means of the
+    simulator's tick-level latencies).  ``warmup_minutes`` exempts the
+    closed loop's cold start -- samples whose window overlaps the warmup
+    are skipped, like :class:`~repro.sla.slo.SLODefinition`.  Fails when
+    the tenant recorded no judgeable samples at all -- a silent series is
+    a wiring bug, not good latency.
+    """
+
+    tenant: str = ""
+    ceiling_ms: float = 50.0
+    warmup_minutes: float = 1.0
+    controllers: tuple[str, ...] | None = None
+
+    def evaluate(self, result) -> AssertionResult:
+        points = post_warmup_points(
+            tenant_points(result.run, self.tenant), self.warmup_minutes
+        )
+        if not points:
+            return self._verdict(
+                False, f"no latency samples recorded for tenant {self.tenant!r}"
+            )
+        worst = max(points, key=lambda p: p.latency_ms)
+        return self._verdict(
+            worst.latency_ms <= self.ceiling_ms,
+            f"peak {worst.latency_ms:.2f}ms at {worst.minute:.1f}m over "
+            f"{len(points)} samples (ceiling {self.ceiling_ms:g}ms)",
+        )
+
+
+@dataclass(frozen=True)
+class SLOViolationsBelow(ScenarioAssertion):
+    """The spec-declared SLO of ``tenant`` stays under a violation budget.
+
+    References the scenario's own ``slos`` declaration (the runner evaluates
+    those into :attr:`~repro.scenarios.runner.ScenarioRunResult.slo_reports`)
+    instead of embedding a second copy of the bounds; fails loudly when the
+    spec declares no SLO for the tenant.
+    """
+
+    tenant: str = ""
+    max_violation_minutes: float = 0.0
+    controllers: tuple[str, ...] | None = None
+
+    def evaluate(self, result) -> AssertionResult:
+        reports = [r for r in result.slo_reports if r.slo.tenant == self.tenant]
+        if not reports:
+            return self._verdict(
+                False, f"scenario declares no SLO for tenant {self.tenant!r}"
+            )
+        minutes = sum(report.violation_minutes for report in reports)
+        judged = sum(report.samples for report in reports)
+        if judged == 0:
+            # Zero judged samples is a wiring problem (tenant series not
+            # recorded, or the SLO's tenant never ran), not compliance --
+            # passing here would silently disable the check.
+            return self._verdict(
+                False,
+                f"SLO for tenant {self.tenant!r} judged no samples "
+                "(tenant series missing or tenant never ran)",
+            )
+        return self._verdict(
+            minutes <= self.max_violation_minutes,
+            f"{minutes:.1f} violation-minutes over {judged} judged samples "
+            f"(budget {self.max_violation_minutes:g})",
+        )
+
+
+@dataclass(frozen=True)
+class CostCeiling(ScenarioAssertion):
+    """The run's cost envelope stays under ``max_cost``.
+
+    Prices the run's per-flavor machine-minute ledger with the named
+    pricing model (see :mod:`repro.sla.cost`), so the ceiling is a money
+    budget, not a raw machine-minute count -- heterogeneous flavors bill
+    at their own rates.
+    """
+
+    max_cost: float = 0.0
+    pricing: str = DEFAULT_PRICING.name
+    controllers: tuple[str, ...] | None = None
+
+    def evaluate(self, result) -> AssertionResult:
+        envelope = pricing_model(self.pricing).cost_of(result.machine_minute_ledger)
+        return self._verdict(
+            envelope.total <= self.max_cost,
+            f"cost {envelope.total:.3f} for {envelope.machine_minutes:.1f} "
+            f"machine-minutes under {self.pricing} (ceiling {self.max_cost:g})",
+        )
 
 
 def evaluate_assertions(result) -> list[AssertionResult]:

@@ -25,6 +25,8 @@ from repro.experiments.harness import (
     make_backend,
 )
 from repro.iaas.provider import OpenStackProvider
+from repro.sla.cost import DEFAULT_PRICING, CostEnvelope, machine_minute_ledger
+from repro.sla.slo import SLOReport, evaluate_slos
 from repro.scenarios.context import ScenarioContext
 from repro.scenarios.schedule import compile_spec
 from repro.scenarios.spec import ScenarioSpec
@@ -59,6 +61,13 @@ class ScenarioRunResult:
     #: Verdicts of the spec's declared assertions (those applicable to the
     #: run's controller), in spec order.
     assertions: list[AssertionResult] = field(default_factory=list)
+    #: Verdicts of the spec's declared SLOs (see :mod:`repro.sla.slo`),
+    #: evaluated under every controller, in spec order.
+    slo_reports: list[SLOReport] = field(default_factory=list)
+    #: Per-flavor machine-minute ledger (see :mod:`repro.sla.cost`).
+    machine_minute_ledger: dict[str, float] = field(default_factory=dict)
+    #: The run's cost envelope under the default pricing model.
+    cost: CostEnvelope | None = None
     simulator: ClusterSimulator | None = None
     context: ScenarioContext | None = None
     machine_hours: float = 0.0
@@ -160,6 +169,7 @@ def run_scenario(
     kernel: str = "fast",
     sample_every_seconds: float = 60.0,
     keep_simulator: bool = True,
+    record_tenant_series: bool = True,
 ) -> ScenarioRunResult:
     """Run ``spec`` under ``controller`` and return the recorded result."""
     simulator, provider, context, _ = build_scenario(spec, kernel=kernel)
@@ -170,6 +180,7 @@ def run_scenario(
         simulator,
         name=f"{spec.name}:{controller}",
         sample_every_seconds=sample_every_seconds,
+        record_tenant_series=record_tenant_series,
     )
     if instance is not None:
         harness.add_controller(instance)
@@ -177,12 +188,20 @@ def run_scenario(
         harness.add_controller(daemon)
     schedule = compile_spec(spec, context)
     run = harness.run_for(spec.duration_seconds, schedule=schedule)
+    ledger = machine_minute_ledger(
+        run.machine_minutes, provider.machine_minutes_by_flavor()
+    )
     result = ScenarioRunResult(
         spec=spec,
         controller=controller,
         kernel=kernel,
         run=run,
         decisions=_normalise_decisions(controller, instance),
+        slo_reports=evaluate_slos(
+            spec.slos, run, sample_minutes=sample_every_seconds / 60.0
+        ),
+        machine_minute_ledger=ledger,
+        cost=DEFAULT_PRICING.cost_of(ledger),
         simulator=simulator if keep_simulator else None,
         context=context if keep_simulator else None,
         machine_hours=provider.machine_hours(),

@@ -59,6 +59,10 @@ class ScenarioSpec:
     #: Declared controller expectations (see :mod:`repro.scenarios.assertions`),
     #: evaluated against the run and recorded in its trace.
     assertions: tuple = ()
+    #: Declared per-tenant SLOs (:class:`repro.sla.slo.SLODefinition`),
+    #: evaluated under *every* controller and serialised into traces; the
+    #: ``SLOViolationsBelow`` assertion references them by tenant.
+    slos: tuple = ()
     duration_minutes: float = 10.0
     seed: int = 0
     initial_nodes: int = 3
@@ -110,3 +114,7 @@ class ScenarioSpec:
     def with_assertions(self, *assertions) -> "ScenarioSpec":
         """A copy of this spec with ``assertions`` appended."""
         return replace(self, assertions=tuple(self.assertions) + tuple(assertions))
+
+    def with_slos(self, *slos) -> "ScenarioSpec":
+        """A copy of this spec with ``slos`` appended."""
+        return replace(self, slos=tuple(self.slos) + tuple(slos))

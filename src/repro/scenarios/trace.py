@@ -19,13 +19,17 @@ from __future__ import annotations
 
 import json
 import math
+from pathlib import Path
 
 from repro.scenarios.runner import ScenarioRunResult, run_scenario
 from repro.scenarios.spec import ScenarioSpec
 
 #: Trace schema version; bump when the shape changes and regenerate goldens.
 #: Format 2 added the ``assertions`` verdict list (scenario assertions DSL).
-TRACE_FORMAT = 2
+#: Format 3 added the SLA sections: per-tenant latency/throughput series
+#: (``tenant_series``), SLO verdicts (``slo``) and the cost envelope
+#: (``cost``).
+TRACE_FORMAT = 3
 
 #: Controllers every canned scenario is goldened under.
 GOLDEN_CONTROLLERS = ("met", "tiramola")
@@ -39,11 +43,27 @@ def golden_name(scenario: str, controller: str) -> str:
 #: JSON is stable and readable, fine enough (micro-op/s on kilo-op/s series)
 #: that a 1e-6 relative kernel divergence is still visible.
 FLOAT_DECIMALS = 6
+#: Decimal places kept for the per-tenant series.  Deliberately coarser than
+#: the cluster series: tenant series are the bulkiest trace section (one row
+#: per tenant per sample), milli-op/s / micro-second precision says nothing
+#: about service quality, and the golden suite's kernel-agreement check
+#: compares them with its own looser tolerance.
+TENANT_SERIES_DECIMALS = 3
+
+
+class TraceFormatError(ValueError):
+    """A trace file's schema version does not match this build's."""
 
 
 def _round(value: float) -> float:
     """Canonical float rounding for traces (also kills -0.0)."""
     rounded = round(value, FLOAT_DECIMALS)
+    return 0.0 if rounded == 0 else rounded
+
+
+def _round_coarse(value: float) -> float:
+    """Capped-precision rounding for the per-tenant series."""
+    rounded = round(value, TENANT_SERIES_DECIMALS)
     return 0.0 if rounded == 0 else rounded
 
 
@@ -90,6 +110,38 @@ def result_trace(result: ScenarioRunResult) -> dict:
             }
             for verdict in result.assertions
         ],
+        # Per-tenant quality series as compact [minute, ops/s, latency-ms]
+        # rows (capped precision; see TENANT_SERIES_DECIMALS).
+        "tenant_series": {
+            name: [
+                [
+                    _round(point.minute),
+                    _round_coarse(point.throughput),
+                    _round_coarse(point.latency_ms),
+                ]
+                for point in points
+            ]
+            for name, points in sorted(run.tenant_series.items())
+        },
+        "slo": [
+            {
+                "slo": report.slo.describe(),
+                "tenant": report.slo.tenant,
+                "samples": report.samples,
+                "violations": len(report.violations),
+                "violation_minutes": _round(report.violation_minutes),
+                "satisfied": report.satisfied,
+            }
+            for report in result.slo_reports
+        ],
+        "cost": {
+            "pricing": result.cost.pricing if result.cost else "",
+            "total": _round(result.cost.total) if result.cost else 0.0,
+            "machine_minutes": {
+                flavor: _round(minutes)
+                for flavor, minutes in sorted(result.machine_minute_ledger.items())
+            },
+        },
         "per_tenant_throughput": {
             name: _round(value)
             for name, value in sorted(run.per_workload_throughput.items())
@@ -111,6 +163,26 @@ def scenario_trace(
 def trace_to_json(trace: dict) -> str:
     """Canonical serialisation: byte-identical for identical runs."""
     return json.dumps(trace, indent=1, sort_keys=True) + "\n"
+
+
+def load_trace(path) -> dict:
+    """Load a committed trace, refusing schema versions this build can't read.
+
+    Raises :class:`TraceFormatError` with a regenerate hint when the file
+    carries a different ``format`` -- a format-2 golden under a format-3
+    build is *stale*, not subtly drifted, and the failure mode should say
+    so instead of producing hundreds of spurious value diffs.
+    """
+    path = Path(path)
+    data = json.loads(path.read_text())
+    observed = data.get("format")
+    if observed != TRACE_FORMAT:
+        raise TraceFormatError(
+            f"{path.name} is trace format {observed!r}, this build reads "
+            f"format {TRACE_FORMAT}; regenerate goldens with "
+            "`PYTHONPATH=src python scripts/regen_goldens.py` and commit the diff"
+        )
+    return data
 
 
 def diff_traces(

@@ -195,6 +195,9 @@ class ClusterSimulator:
         self._region_seq = itertools.count()
         self._model_cache: dict[HardwareSpec, PerformanceModel] = {}
         self._binding_throughput: dict[str, float] = {}
+        #: Most recent per-binding mean request latency (ms), from the same
+        #: final fixed-point state as the achieved throughputs.
+        self._binding_latency_ms: dict[str, float] = {}
         #: Incremental node -> {region_id -> region} index (``None`` bucket
         #: holds unassigned regions); kept coherent by SimulatedRegion's
         #: ``node`` setter hook.
@@ -462,6 +465,7 @@ class ClusterSimulator:
         # linger in cluster_throughput(), and a later binding reusing the
         # name must seed the fixed point fresh.
         self._binding_throughput.pop(name, None)
+        self._binding_latency_ms.pop(name, None)
         self._workloads_version += 1
 
     def set_workload_active(self, name: str, active: bool) -> None:
@@ -553,6 +557,16 @@ class ClusterSimulator:
         """Most recent achieved throughput of a tenant (ops/s)."""
         return self._binding_throughput.get(name, 0.0)
 
+    def binding_latency_ms(self, name: str) -> float:
+        """Most recent mean request latency of a tenant (milliseconds).
+
+        The request-weighted per-op mean the closed loop solved against on
+        the last tick -- the tenant-visible quality signal the SLA layer
+        turns into SLO verdicts.  0.0 before the first tick or for unknown
+        tenants.
+        """
+        return self._binding_latency_ms.get(name, 0.0)
+
     def cluster_throughput(self) -> float:
         """Most recent total achieved throughput (ops/s)."""
         return sum(self._binding_throughput.values())
@@ -573,8 +587,10 @@ class ClusterSimulator:
         dt = seconds if seconds is not None else self.clock.tick_seconds
         self._advance_node_states()
         compaction_bg = self._progress_compactions(dt)
-        throughputs, node_results, region_rates = self._solve_fixed_point(compaction_bg)
-        self._apply_tick_results(dt, throughputs, node_results, region_rates)
+        throughputs, node_results, region_rates, latencies = self._solve_fixed_point(
+            compaction_bg
+        )
+        self._apply_tick_results(dt, throughputs, node_results, region_rates, latencies)
         self.clock.advance(dt)
 
     # ------------------------------------------------------------------ #
@@ -665,11 +681,17 @@ class ClusterSimulator:
     # ------------------------------------------------------------------ #
     def _solve_fixed_point(
         self, compaction_bg: dict[str, float]
-    ) -> tuple[dict[str, float], dict[str, object], dict[str, dict[str, float]]]:
+    ) -> tuple[
+        dict[str, float],
+        dict[str, object],
+        dict[str, dict[str, float]],
+        dict[str, float],
+    ]:
         """Solve the closed-loop throughput fixed point for this tick.
 
         Returns the per-binding *achieved* throughput, the per-node model
-        results and the per-region achieved rates.  Achieved throughput is
+        results, the per-region achieved rates and the per-binding mean
+        request latency (ms) at the final state.  Achieved throughput is
         work-conserving: offered load on a node is clamped to the node's
         capacity (utilisation 1.0).
         """
@@ -741,7 +763,12 @@ class ClusterSimulator:
 
     def _solve_fixed_point_fast(
         self, compaction_bg: dict[str, float]
-    ) -> tuple[dict[str, float], dict[str, object], dict[str, dict[str, float]]]:
+    ) -> tuple[
+        dict[str, float],
+        dict[str, object],
+        dict[str, dict[str, float]],
+        dict[str, float],
+    ]:
         bindings = self.bindings
         throughputs = {
             name: self._binding_throughput.get(name, binding.threads * 50.0)
@@ -792,7 +819,7 @@ class ClusterSimulator:
             for name, evaluator, refs, background in node_context:
                 node_latencies[name] = evaluator.latencies(refs, background)
 
-        def binding_latency(terms, mix) -> float:
+        def binding_latency(terms, mix, latencies_by_node) -> float:
             # Same math as WorkloadBinding.mean_latency: the per-region
             # latency dict is the hosting node's, so the per-op mix dot
             # product is computed once per node and reused per region.
@@ -806,7 +833,7 @@ class ClusterSimulator:
                     continue
                 mixed = cache.get(node_name)
                 if mixed is None:
-                    latencies = node_latencies[node_name]
+                    latencies = latencies_by_node[node_name]
                     mixed = 0.0
                     for op, fraction in mix:
                         mixed += fraction * latencies.get(op, 1.0)
@@ -822,7 +849,7 @@ class ClusterSimulator:
                 converged = True
                 for name, binding in bindings.items():
                     terms, mix = binding_terms[name]
-                    latency = binding_latency(terms, mix)
+                    latency = binding_latency(terms, mix, node_latencies)
                     target = binding.max_throughput(latency)
                     previous = throughputs[name]
                     updated = 0.5 * previous + 0.5 * target
@@ -844,6 +871,16 @@ class ClusterSimulator:
                 1.0 if result.utilization <= 1.0 else 1.0 / result.utilization
             )
 
+        # Per-binding latency at the *final* state, from the full node
+        # results (same latency dicts the intermediate iterations used).
+        final_latencies = {
+            name: result.per_op_latency_ms for name, result in node_results.items()
+        }
+        binding_latencies = {
+            name: binding_latency(*binding_terms[name], final_latencies)
+            for name in bindings
+        }
+
         achieved: dict[str, float] = {}
         region_rates: dict[str, dict[str, float]] = {}
         for name, entries in contribs:
@@ -859,7 +896,7 @@ class ClusterSimulator:
                     load_total += rate
                 total += load_total * scale
             achieved[name] = total
-        return achieved, node_results, region_rates
+        return achieved, node_results, region_rates, binding_latencies
 
     # ------------------------------------------------------------------ #
     # reference kernel (seed behaviour, used for benchmarks/equivalence)
@@ -923,7 +960,12 @@ class ClusterSimulator:
 
     def _solve_fixed_point_reference(
         self, compaction_bg: dict[str, float], iterations: int = 10
-    ) -> tuple[dict[str, float], dict[str, object], dict[str, dict[str, float]]]:
+    ) -> tuple[
+        dict[str, float],
+        dict[str, object],
+        dict[str, dict[str, float]],
+        dict[str, float],
+    ]:
         throughputs = {
             name: self._binding_throughput.get(name, binding.threads * 50.0)
             for name, binding in self.bindings.items()
@@ -946,6 +988,7 @@ class ClusterSimulator:
         )
         achieved: dict[str, float] = {}
         region_rates: dict[str, dict[str, float]] = {}
+        binding_latencies: dict[str, float] = {}
         for name, binding in self.bindings.items():
             total = 0.0
             for load in binding.offered_loads(throughputs.get(name, 0.0)):
@@ -955,7 +998,8 @@ class ClusterSimulator:
                     bucket[op] = bucket.get(op, 0.0) + rate * scale
                 total += load.total * scale
             achieved[name] = total
-        return achieved, node_results, region_rates
+            binding_latencies[name] = binding.mean_latency(region_latencies)
+        return achieved, node_results, region_rates, binding_latencies
 
     def _apply_tick_results(
         self,
@@ -963,6 +1007,7 @@ class ClusterSimulator:
         throughputs: dict[str, float],
         node_results: dict[str, object],
         region_rates: dict[str, dict[str, float]],
+        binding_latencies: dict[str, float] | None = None,
     ) -> None:
         now = self.clock.now + dt
         # Reset per-region rates before accumulating this tick's load; only
@@ -977,12 +1022,17 @@ class ClusterSimulator:
         rated = self._rated_regions = []
 
         samples: list[tuple[str, str, float]] = []
+        latencies = binding_latencies or {}
         total = 0.0
         for name in self.bindings:
             throughput = throughputs.get(name, 0.0)
+            latency = latencies.get(name, 0.0)
             self._binding_throughput[name] = throughput
+            self._binding_latency_ms[name] = latency
             total += throughput
-            samples.append((f"workload:{name}", "throughput", throughput))
+            entity = f"workload:{name}"
+            samples.append((entity, "throughput", throughput))
+            samples.append((entity, "latency_ms", latency))
 
         regions = self.regions
         for region_id, rates in region_rates.items():

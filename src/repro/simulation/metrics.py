@@ -47,6 +47,25 @@ class MetricSeries:
         hi = bisect_right(self.timestamps, end)
         return list(zip(self.timestamps[lo:hi], self.values[lo:hi]))
 
+    def mean_between(self, start: float, end: float, default: float = 0.0) -> float:
+        """Mean of the samples with ``start < timestamp <= end``.
+
+        Allocation-free window aggregation for per-tick series (the SLA
+        layer averages each tenant's tick-level latency/throughput over a
+        sampling window).  The window is half-open so chained windows
+        partition the series without double-counting boundary ticks.
+        ``default`` is returned when the window holds no samples.
+        """
+        lo = bisect_right(self.timestamps, start)
+        hi = bisect_right(self.timestamps, end)
+        if hi <= lo:
+            return default
+        total = 0.0
+        values = self.values
+        for index in range(lo, hi):
+            total += values[index]
+        return total / (hi - lo)
+
     def last_n(self, n: int) -> list[float]:
         """The last ``n`` values (fewer if the series is shorter)."""
         if n <= 0:

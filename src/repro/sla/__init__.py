@@ -1,0 +1,64 @@
+"""SLO and cost accounting: per-tenant quality signals, judged and priced.
+
+The simulator computes per-tenant latencies internally on every tick; this
+package is the layer that turns them into first-class service-quality
+artefacts:
+
+* :mod:`repro.sla.slo` -- :class:`SLODefinition` (latency ceiling and/or
+  throughput floor per tenant) and the evaluator producing per-sample
+  violation series and aggregate violation-minutes;
+* :mod:`repro.sla.cost` -- :class:`PricingModel` over IaaS flavors, turning
+  the per-flavor machine-minute ledger into a :class:`CostEnvelope`;
+* :mod:`repro.sla.scorecard` -- the MeT-vs-Tiramola scorecard
+  (violation-minutes, cost, throughput) across the scenario catalog.
+
+Scenario specs declare SLOs (``ScenarioSpec.slos``) and SLO/cost assertions
+(``LatencyWithin``, ``SLOViolationsBelow``, ``CostCeiling``); the scenario
+runner evaluates both and serialises the verdicts into golden traces, so
+service quality is regression-locked alongside raw throughput.
+"""
+
+from repro.sla.cost import (
+    DEFAULT_PRICING,
+    PRICING_MODELS,
+    CostEnvelope,
+    FlavorCharge,
+    PricingModel,
+    machine_minute_ledger,
+    pricing_model,
+)
+from repro.sla.slo import (
+    SLODefinition,
+    SLOReport,
+    SLOViolation,
+    evaluate_slo,
+    evaluate_slos,
+    tenant_points,
+)
+
+__all__ = [
+    "DEFAULT_PRICING",
+    "PRICING_MODELS",
+    "CostEnvelope",
+    "FlavorCharge",
+    "PricingModel",
+    "SLODefinition",
+    "SLOReport",
+    "SLOViolation",
+    "evaluate_slo",
+    "evaluate_slos",
+    "machine_minute_ledger",
+    "pricing_model",
+    "tenant_points",
+]
+
+
+def __getattr__(name: str):
+    # The scorecard pulls in repro.scenarios (which imports the assertion
+    # DSL, which imports this package), so it is exposed lazily to keep the
+    # import graph acyclic: ``from repro.sla import scenario_scorecard``.
+    if name in ("ScorecardRow", "render_scorecard", "scenario_scorecard", "scorecard_row"):
+        from repro.sla import scorecard
+
+        return getattr(scorecard, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

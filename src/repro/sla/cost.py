@@ -1,0 +1,144 @@
+"""Pricing models: machine-minutes to money.
+
+The paper's Section 6.4 judges elasticity controllers on machine-time as
+well as throughput; a :class:`PricingModel` turns the per-flavor
+machine-minute ledger of a run into a :class:`CostEnvelope` -- the costed
+summary scenario assertions (``CostCeiling``) and the MeT-vs-Tiramola
+scorecard compare controllers on.
+
+The ledger itself comes from two places: VMs the controller launched are
+billed per flavor from the IaaS provider's uptime records
+(:meth:`~repro.iaas.provider.OpenStackProvider.machine_minutes_by_flavor`),
+and the pre-provisioned initial cluster -- nodes that exist before any
+controller acts and never pass through the provider -- bills the remaining
+harness-observed machine-minutes at the default RegionServer flavor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.iaas.flavors import REGIONSERVER_FLAVOR
+
+__all__ = [
+    "DEFAULT_PRICING",
+    "PRICING_MODELS",
+    "CostEnvelope",
+    "FlavorCharge",
+    "PricingModel",
+    "machine_minute_ledger",
+    "pricing_model",
+]
+
+
+@dataclass(frozen=True)
+class PricingModel:
+    """Per-flavor machine-minute rates (currency units per minute).
+
+    ``rates`` is a tuple of ``(flavor_name, rate)`` pairs so pricing models
+    stay hashable frozen data (scenario assertions embed them).  Flavors
+    missing from the table bill at ``default_rate``.
+    """
+
+    name: str
+    rates: tuple[tuple[str, float], ...]
+    default_rate: float = 0.001
+
+    def rate_for(self, flavor: str) -> float:
+        """Rate (per machine-minute) of one flavor."""
+        for name, rate in self.rates:
+            if name == flavor:
+                return rate
+        return self.default_rate
+
+    def cost_of(self, ledger: dict[str, float]) -> "CostEnvelope":
+        """Cost a per-flavor machine-minute ledger into an envelope."""
+        charges = tuple(
+            FlavorCharge(
+                flavor=flavor,
+                machine_minutes=minutes,
+                cost=minutes * self.rate_for(flavor),
+            )
+            for flavor, minutes in sorted(ledger.items())
+            if minutes > 0.0
+        )
+        return CostEnvelope(pricing=self.name, charges=charges)
+
+
+@dataclass(frozen=True)
+class FlavorCharge:
+    """Billed machine-minutes of one flavor."""
+
+    flavor: str
+    machine_minutes: float
+    cost: float
+
+
+@dataclass(frozen=True)
+class CostEnvelope:
+    """The costed resource summary of one run."""
+
+    pricing: str
+    charges: tuple[FlavorCharge, ...]
+
+    @property
+    def total(self) -> float:
+        """Total run cost (currency units)."""
+        return sum(charge.cost for charge in self.charges)
+
+    @property
+    def machine_minutes(self) -> float:
+        """Total billed machine-minutes across flavors."""
+        return sum(charge.machine_minutes for charge in self.charges)
+
+
+#: Hourly-style rates expressed per machine-minute: generic OpenStack sizes
+#: plus the paper's RegionServer VM.  Absolute values are arbitrary (any
+#: consistent tariff ranks controllers identically); ratios follow size.
+DEFAULT_PRICING = PricingModel(
+    name="on-demand-v1",
+    rates=(
+        ("m1.small", 0.03 / 60.0),
+        ("m1.medium", 0.06 / 60.0),
+        ("m1.large", 0.12 / 60.0),
+        (REGIONSERVER_FLAVOR.name, 0.05 / 60.0),
+    ),
+    default_rate=0.06 / 60.0,
+)
+
+#: Named pricing models assertions can reference without embedding tables.
+PRICING_MODELS: dict[str, PricingModel] = {
+    DEFAULT_PRICING.name: DEFAULT_PRICING,
+}
+
+
+def pricing_model(name: str) -> PricingModel:
+    """Look up a registered pricing model by name."""
+    try:
+        return PRICING_MODELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown pricing model {name!r}; available: {sorted(PRICING_MODELS)}"
+        ) from None
+
+
+def machine_minute_ledger(
+    total_machine_minutes: float,
+    provider_minutes_by_flavor: dict[str, float] | None = None,
+    default_flavor: str = REGIONSERVER_FLAVOR.name,
+) -> dict[str, float]:
+    """Attribute a run's machine-minutes to IaaS flavors.
+
+    Provider-launched VMs bill by their recorded per-flavor uptime; the
+    remainder of the harness-observed machine-minutes is the pre-provisioned
+    initial cluster, billed at ``default_flavor``.  Provider uptime can
+    slightly exceed the node-online time the harness counted (a VM bills
+    while its RegionServer restarts), in which case the base share clamps
+    at zero rather than going negative.
+    """
+    ledger = dict(provider_minutes_by_flavor or {})
+    provider_total = sum(ledger.values())
+    base = max(0.0, total_machine_minutes - provider_total)
+    if base > 0.0:
+        ledger[default_flavor] = ledger.get(default_flavor, 0.0) + base
+    return ledger

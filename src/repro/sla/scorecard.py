@@ -1,0 +1,105 @@
+"""The MeT-vs-Tiramola scorecard: quality and cost across the catalog.
+
+Runs scenarios under both controllers and reduces each run to the three
+numbers the latency-vs-cost trade-off is argued with: SLO violation-minutes,
+run cost under a pricing model, and mean cluster throughput.  The rendering
+helpers live in :mod:`repro.experiments.reporting`; this module owns the
+data reduction so experiments, examples and future adversarial-scenario
+search all score controllers the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.reporting import format_matchup
+from repro.sla.cost import DEFAULT_PRICING, PricingModel
+
+__all__ = [
+    "ScorecardRow",
+    "render_scorecard",
+    "scenario_scorecard",
+    "scorecard_row",
+]
+
+
+@dataclass(frozen=True)
+class ScorecardRow:
+    """One (scenario, controller) cell of the scorecard."""
+
+    scenario: str
+    controller: str
+    mean_throughput: float
+    violation_minutes: float
+    cost: float
+    machine_minutes: float
+    assertions_passed: bool
+
+
+def scorecard_row(result, pricing: PricingModel | None = None) -> ScorecardRow:
+    """Reduce one finished :class:`~repro.scenarios.runner.ScenarioRunResult`."""
+    envelope = result.cost
+    if pricing is not None and (envelope is None or envelope.pricing != pricing.name):
+        envelope = pricing.cost_of(result.machine_minute_ledger)
+    return ScorecardRow(
+        scenario=result.spec.name,
+        controller=result.controller,
+        mean_throughput=result.run.mean_throughput,
+        violation_minutes=sum(r.violation_minutes for r in result.slo_reports),
+        cost=envelope.total if envelope is not None else 0.0,
+        machine_minutes=result.run.machine_minutes,
+        assertions_passed=result.assertions_passed,
+    )
+
+
+def scenario_scorecard(
+    scenarios=None,
+    controllers: tuple[str, ...] = ("met", "tiramola"),
+    pricing: PricingModel = DEFAULT_PRICING,
+    kernel: str = "fast",
+) -> list[ScorecardRow]:
+    """Run every scenario under every controller and reduce to rows.
+
+    ``scenarios`` defaults to the whole canned catalog.  Rows come back
+    grouped by scenario in catalog order, controllers in the given order.
+    """
+    # Imported lazily: repro.scenarios imports the SLA assertion types, so a
+    # module-level import here would be circular.
+    from repro.scenarios import CANNED_SCENARIOS, run_scenario
+
+    if scenarios is None:
+        specs = list(CANNED_SCENARIOS.values())
+    else:
+        specs = [
+            CANNED_SCENARIOS[item] if isinstance(item, str) else item
+            for item in scenarios
+        ]
+    rows: list[ScorecardRow] = []
+    for spec in specs:
+        for controller in controllers:
+            result = run_scenario(
+                spec, controller=controller, kernel=kernel, keep_simulator=False
+            )
+            rows.append(scorecard_row(result, pricing=pricing))
+    return rows
+
+
+def render_scorecard(rows: list[ScorecardRow]) -> str:
+    """Render scorecard rows as the MeT-vs-Tiramola matchup table.
+
+    Scenarios appear in row order; each metric shows every controller's
+    value side by side, and the summary line totals the matchup.  Lower is
+    better for violation-minutes and cost, higher for throughput.
+    """
+    return format_matchup(
+        rows,
+        key=lambda row: row.scenario,
+        group=lambda row: row.controller,
+        columns=[
+            ("ops/s", lambda row: f"{row.mean_throughput:,.0f}"),
+            ("viol-min", lambda row: f"{row.violation_minutes:.1f}"),
+            ("cost", lambda row: f"{row.cost:.3f}"),
+            ("mach-min", lambda row: f"{row.machine_minutes:.1f}"),
+            ("ok", lambda row: "yes" if row.assertions_passed else "NO"),
+        ],
+    )

@@ -1,0 +1,190 @@
+"""Service-level objectives over per-tenant quality series.
+
+An :class:`SLODefinition` declares what one tenant was promised -- a latency
+ceiling, a throughput floor, or both.  :func:`evaluate_slo` judges a finished
+run's recorded :class:`~repro.experiments.harness.TenantSeriesPoint` samples
+against the promise and produces an :class:`SLOReport`: the per-sample
+violation series plus the aggregate *violation-minutes* the paper-style
+quality-per-dollar comparison needs (a controller that holds latency by
+burning twice the machines is only "better" until the cost envelope says
+otherwise -- see :mod:`repro.sla.cost`).
+
+Definitions are pure frozen data so scenario specs can embed them; tenants
+are named the way scenarios name them (``"A"``), and the evaluator resolves
+the binding-level series key (``"workload-A"``) itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.ycsb.scenario import binding_name
+
+__all__ = [
+    "SLODefinition",
+    "SLOReport",
+    "SLOViolation",
+    "evaluate_slo",
+    "evaluate_slos",
+    "post_warmup_points",
+    "tenant_points",
+]
+
+
+@dataclass(frozen=True)
+class SLODefinition:
+    """What one tenant was promised.
+
+    ``latency_ceiling_ms`` bounds the tenant's mean request latency per
+    sampling window; ``throughput_floor`` guarantees a minimum achieved
+    rate (ops/s).  Either may be ``None``; at least one must be set.
+    ``warmup_minutes`` exempts the run's cold start -- closed-loop
+    throughput ramps from the solver's seed during the first samples, and
+    an SLO should judge steady-state service, not the simulator warming up.
+    A sample is exempt unless its *whole* sampling window lies past the
+    warmup (see :func:`post_warmup_points`).
+    """
+
+    tenant: str
+    latency_ceiling_ms: float | None = None
+    throughput_floor: float | None = None
+    warmup_minutes: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.latency_ceiling_ms is None and self.throughput_floor is None:
+            raise ValueError(
+                f"SLO for tenant {self.tenant!r} needs a latency ceiling "
+                "and/or a throughput floor"
+            )
+        if self.latency_ceiling_ms is not None and self.latency_ceiling_ms <= 0:
+            raise ValueError("latency ceiling must be positive")
+        if self.throughput_floor is not None and self.throughput_floor < 0:
+            raise ValueError("throughput floor must be non-negative")
+
+    def describe(self) -> str:
+        """Canonical one-line rendering, e.g. ``A: latency<=40ms``."""
+        bounds = []
+        if self.latency_ceiling_ms is not None:
+            bounds.append(f"latency<={self.latency_ceiling_ms:g}ms")
+        if self.throughput_floor is not None:
+            bounds.append(f"throughput>={self.throughput_floor:g}ops/s")
+        return f"{self.tenant}: " + " ".join(bounds)
+
+
+@dataclass(frozen=True)
+class SLOViolation:
+    """One sample that broke the promise."""
+
+    minute: float
+    kind: str  # "latency" or "throughput"
+    observed: float
+    bound: float
+
+
+@dataclass(frozen=True)
+class SLOReport:
+    """Verdict of one SLO against one finished run."""
+
+    slo: SLODefinition
+    #: Samples judged (after the warmup exemption).
+    samples: int
+    #: Minutes of wall-clock each sample stands for.
+    sample_minutes: float
+    violations: tuple[SLOViolation, ...]
+
+    @property
+    def violation_minutes(self) -> float:
+        """Total minutes the tenant spent out of SLO."""
+        return len(self.violations) * self.sample_minutes
+
+    @property
+    def satisfied(self) -> bool:
+        """Whether the promise held for the whole (post-warmup) run."""
+        return not self.violations
+
+    @property
+    def compliance(self) -> float:
+        """Fraction of judged samples inside the SLO (1.0 when none judged)."""
+        if self.samples == 0:
+            return 1.0
+        return 1.0 - len(self.violations) / self.samples
+
+
+def tenant_points(run, tenant: str) -> list:
+    """A tenant's recorded series, accepting scenario or binding names."""
+    series = run.tenant_series
+    points = series.get(binding_name(tenant))
+    if points is None:
+        points = series.get(tenant, [])
+    return points
+
+
+def post_warmup_points(points, warmup_minutes: float) -> list:
+    """Samples whose whole window lies past the warmup exemption.
+
+    Each recorded sample is a *window mean* ending at its ``minute``, so a
+    sample is only judged when its window **starts** at or after the
+    warmup deadline -- filtering on the end minute would judge a sample
+    composed almost entirely of warmup-period ticks.  The window start is
+    the preceding sample's minute; a series' first sample (run start, or a
+    tenant's mid-run arrival) counts its window from the run start, so any
+    positive warmup exempts it -- a fresh closed loop ramps from the
+    solver's seed during its first window.
+    """
+    judged = []
+    window_start = 0.0
+    for point in points:
+        if window_start >= warmup_minutes:
+            judged.append(point)
+        window_start = point.minute
+    return judged
+
+
+def evaluate_slo(slo: SLODefinition, run, sample_minutes: float = 1.0) -> SLOReport:
+    """Judge one SLO against a run's recorded tenant series.
+
+    ``sample_minutes`` is the wall-clock weight of one recorded sample (the
+    harness default samples once a minute); violation-minutes scale with it.
+    A sample out of SLO counts **once** even when it breaches both bounds
+    of a dual-bound SLO -- violation-minutes measure time out of SLO, not
+    bounds broken -- with latency taking precedence in the per-kind
+    breakdown (a saturated tenant usually breaches both, and latency is
+    the tenant-visible symptom).  A tenant with no recorded series produces
+    an empty, satisfied report -- the caller declared an SLO for a tenant
+    that never ran, which the scenario-level assertions surface separately.
+    """
+    points = post_warmup_points(tenant_points(run, slo.tenant), slo.warmup_minutes)
+    violations: list[SLOViolation] = []
+    for point in points:
+        if (
+            slo.latency_ceiling_ms is not None
+            and point.latency_ms > slo.latency_ceiling_ms
+        ):
+            violations.append(
+                SLOViolation(
+                    minute=point.minute,
+                    kind="latency",
+                    observed=point.latency_ms,
+                    bound=slo.latency_ceiling_ms,
+                )
+            )
+        elif slo.throughput_floor is not None and point.throughput < slo.throughput_floor:
+            violations.append(
+                SLOViolation(
+                    minute=point.minute,
+                    kind="throughput",
+                    observed=point.throughput,
+                    bound=slo.throughput_floor,
+                )
+            )
+    return SLOReport(
+        slo=slo,
+        samples=len(points),
+        sample_minutes=sample_minutes,
+        violations=tuple(violations),
+    )
+
+
+def evaluate_slos(slos, run, sample_minutes: float = 1.0) -> list[SLOReport]:
+    """Judge every declared SLO, in declaration order."""
+    return [evaluate_slo(slo, run, sample_minutes) for slo in slos]

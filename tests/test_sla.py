@@ -1,0 +1,344 @@
+"""Unit tests for the SLA subsystem: SLOs, pricing, assertions, back-compat.
+
+The golden-trace suite locks the end-to-end behaviour down; these tests pin
+the pieces in isolation -- the SLO evaluator's violation accounting, the
+pricing model's ledger arithmetic, the new assertion types, the per-tenant
+series plumbing, and the trace-format back-compat story (a format-2 golden
+must fail with a clear "regenerate" message, not a wall of value diffs).
+"""
+
+import importlib.util
+from pathlib import Path
+from types import SimpleNamespace
+
+import pytest
+
+from repro.experiments.harness import (
+    ExperimentHarness,
+    StrategyRun,
+    TenantSeriesPoint,
+)
+from repro.experiments.reporting import format_matchup
+from repro.scenarios import (
+    CANNED_SCENARIOS,
+    CostCeiling,
+    LatencyWithin,
+    SLOViolationsBelow,
+    TraceFormatError,
+    load_trace,
+    run_scenario,
+)
+from repro.simulation.cluster import ClusterSimulator
+from repro.simulation.metrics import MetricSeries
+from repro.sla import (
+    DEFAULT_PRICING,
+    PricingModel,
+    SLODefinition,
+    evaluate_slo,
+    machine_minute_ledger,
+    pricing_model,
+)
+from repro.sla.scorecard import ScorecardRow, render_scorecard, scorecard_row
+from repro.workloads.ycsb.scenario import build_paper_scenario
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def make_run(tenant="workload-A", points=()):
+    run = StrategyRun(name="t")
+    run.tenant_series[tenant] = [TenantSeriesPoint(*p) for p in points]
+    return run
+
+
+class TestSLODefinition:
+    def test_requires_some_bound(self):
+        with pytest.raises(ValueError, match="latency ceiling and/or"):
+            SLODefinition(tenant="A")
+
+    def test_rejects_nonpositive_ceiling(self):
+        with pytest.raises(ValueError, match="positive"):
+            SLODefinition(tenant="A", latency_ceiling_ms=0.0)
+
+    def test_describe_lists_bounds(self):
+        slo = SLODefinition(tenant="A", latency_ceiling_ms=40.0, throughput_floor=100.0)
+        assert slo.describe() == "A: latency<=40ms throughput>=100ops/s"
+
+
+class TestEvaluateSLO:
+    def test_latency_violations_accrue_minutes(self):
+        run = make_run(
+            points=[
+                (1.0, 900.0, 10.0),
+                (2.0, 900.0, 55.0),
+                (3.0, 900.0, 60.0),
+                (4.0, 900.0, 10.0),
+            ]
+        )
+        report = evaluate_slo(SLODefinition(tenant="A", latency_ceiling_ms=50.0), run)
+        assert report.samples == 3  # the 1.0m sample's window overlaps warmup
+        assert [v.minute for v in report.violations] == [2.0, 3.0]
+        assert report.violation_minutes == 2.0
+        assert not report.satisfied
+        assert report.compliance == pytest.approx(1.0 / 3.0)
+
+    def test_warmup_exempts_windows_overlapping_the_warmup(self):
+        # The 1.5m sample *ends* past the warmup but its window starts at
+        # 0.1m -- it is mostly warmup-period ticks and must not be judged.
+        run = make_run(points=[(0.1, 10.0, 999.0), (1.5, 900.0, 999.0), (2.5, 900.0, 10.0)])
+        report = evaluate_slo(SLODefinition(tenant="A", latency_ceiling_ms=50.0), run)
+        assert report.samples == 1
+        assert report.satisfied
+
+    def test_zero_warmup_judges_everything(self):
+        run = make_run(points=[(1.0, 900.0, 99.0)])
+        slo = SLODefinition(tenant="A", latency_ceiling_ms=50.0, warmup_minutes=0.0)
+        assert evaluate_slo(slo, run).violation_minutes == 1.0
+
+    def test_dual_bound_sample_counts_once_latency_first(self):
+        # A sample breaching both bounds is one violation-minute (time out
+        # of SLO, not bounds broken), reported under the latency kind.
+        run = make_run(points=[(1.0, 900.0, 1.0), (2.0, 400.0, 99.0)])
+        slo = SLODefinition(tenant="A", latency_ceiling_ms=50.0, throughput_floor=800.0)
+        report = evaluate_slo(slo, run)
+        assert [v.kind for v in report.violations] == ["latency"]
+        assert report.violation_minutes == 1.0
+
+    def test_throughput_floor(self):
+        run = make_run(points=[(1.0, 900.0, 1.0), (2.0, 900.0, 1.0), (3.0, 400.0, 1.0)])
+        slo = SLODefinition(tenant="A", throughput_floor=800.0)
+        report = evaluate_slo(slo, run)
+        assert [v.kind for v in report.violations] == ["throughput"]
+        assert report.violations[0].observed == 400.0
+
+    def test_sample_minutes_scale_violation_minutes(self):
+        run = make_run(points=[(1.0, 900.0, 10.0), (2.0, 900.0, 99.0)])
+        slo = SLODefinition(tenant="A", latency_ceiling_ms=50.0)
+        assert evaluate_slo(slo, run, sample_minutes=0.5).violation_minutes == 0.5
+
+    def test_scenario_tenant_names_resolve_to_binding_series(self):
+        run = make_run(tenant="workload-A", points=[(1.0, 900.0, 10.0), (2.0, 900.0, 10.0)])
+        report = evaluate_slo(SLODefinition(tenant="A", latency_ceiling_ms=50.0), run)
+        assert report.samples == 1
+
+    def test_absent_tenant_is_vacuously_satisfied(self):
+        report = evaluate_slo(
+            SLODefinition(tenant="ghost", latency_ceiling_ms=1.0), make_run()
+        )
+        assert report.samples == 0 and report.satisfied
+
+
+class TestPricing:
+    def test_cost_of_prices_per_flavor(self):
+        pricing = PricingModel(
+            name="test", rates=(("small", 0.001), ("large", 0.004)), default_rate=0.002
+        )
+        envelope = pricing.cost_of({"small": 10.0, "large": 5.0, "exotic": 1.0})
+        assert envelope.total == pytest.approx(10 * 0.001 + 5 * 0.004 + 1 * 0.002)
+        assert envelope.machine_minutes == pytest.approx(16.0)
+        assert [c.flavor for c in envelope.charges] == ["exotic", "large", "small"]
+
+    def test_zero_minute_flavors_are_dropped(self):
+        envelope = DEFAULT_PRICING.cost_of({"m1.small": 0.0})
+        assert envelope.charges == ()
+        assert envelope.total == 0.0
+
+    def test_ledger_attributes_remainder_to_default_flavor(self):
+        ledger = machine_minute_ledger(30.0, {"m1.large": 12.0})
+        assert ledger["m1.large"] == 12.0
+        assert ledger["met.regionserver"] == pytest.approx(18.0)
+
+    def test_ledger_clamps_provider_overage(self):
+        # VM uptime can exceed node-online time (restarts); the base share
+        # clamps at zero instead of going negative.
+        ledger = machine_minute_ledger(10.0, {"m1.large": 12.0})
+        assert ledger == {"m1.large": 12.0}
+
+    def test_pricing_model_lookup(self):
+        assert pricing_model(DEFAULT_PRICING.name) is DEFAULT_PRICING
+        with pytest.raises(KeyError, match="unknown pricing model"):
+            pricing_model("free-tier")
+
+
+class TestSLAAssertions:
+    def test_latency_within_passes_and_fails(self):
+        run = make_run(points=[(1.0, 900.0, 10.0), (2.0, 900.0, 30.0)])
+        result = SimpleNamespace(run=run)
+        assert LatencyWithin(tenant="A", ceiling_ms=35.0).evaluate(result).passed
+        verdict = LatencyWithin(tenant="A", ceiling_ms=20.0).evaluate(result)
+        assert not verdict.passed
+        assert "peak 30.00ms" in verdict.detail
+
+    def test_latency_within_fails_on_silent_series(self):
+        verdict = LatencyWithin(tenant="A", ceiling_ms=35.0).evaluate(
+            SimpleNamespace(run=make_run(tenant="other"))
+        )
+        assert not verdict.passed
+        assert "no latency samples" in verdict.detail
+
+    def test_slo_violations_below_reads_spec_reports(self):
+        run = make_run(points=[(1.0, 900.0, 10.0), (2.0, 900.0, 60.0), (3.0, 900.0, 10.0)])
+        report = evaluate_slo(SLODefinition(tenant="A", latency_ceiling_ms=50.0), run)
+        result = SimpleNamespace(slo_reports=[report])
+        assert SLOViolationsBelow(tenant="A", max_violation_minutes=1.0).evaluate(result).passed
+        assert not SLOViolationsBelow(tenant="A", max_violation_minutes=0.0).evaluate(result).passed
+
+    def test_slo_violations_below_fails_without_declared_slo(self):
+        verdict = SLOViolationsBelow(tenant="A").evaluate(SimpleNamespace(slo_reports=[]))
+        assert not verdict.passed
+        assert "declares no SLO" in verdict.detail
+
+    def test_slo_violations_below_fails_when_nothing_was_judged(self):
+        # A tenant that never produced a series (disabled recording, typo'd
+        # name) must not pass vacuously.
+        report = evaluate_slo(
+            SLODefinition(tenant="A", latency_ceiling_ms=50.0), make_run(tenant="other")
+        )
+        verdict = SLOViolationsBelow(tenant="A").evaluate(
+            SimpleNamespace(slo_reports=[report])
+        )
+        assert not verdict.passed
+        assert "judged no samples" in verdict.detail
+
+    def test_cost_ceiling_prices_the_ledger(self):
+        result = SimpleNamespace(machine_minute_ledger={"met.regionserver": 60.0})
+        assert CostCeiling(max_cost=0.06).evaluate(result).passed  # 60min @ 0.05/h
+        assert not CostCeiling(max_cost=0.04).evaluate(result).passed
+
+
+class TestTenantSeriesPlumbing:
+    def test_simulator_exposes_binding_latency(self):
+        sim = ClusterSimulator()
+        nodes = [sim.add_node() for _ in range(3)]
+        scenario = build_paper_scenario(sim)
+        for index, spec in enumerate(scenario.partitions):
+            region = sim.regions[spec.partition_id]
+            region.node = nodes[index % 3]
+            region.block_homes = {nodes[index % 3]}
+        sim.tick()
+        for name in sim.bindings:
+            assert sim.binding_latency_ms(name) > 0.0
+            assert sim.metrics.latest(f"workload:{name}", "latency_ms") > 0.0
+        assert sim.binding_latency_ms("nope") == 0.0
+
+    def test_harness_records_window_means(self):
+        sim = ClusterSimulator()
+        nodes = [sim.add_node() for _ in range(3)]
+        scenario = build_paper_scenario(sim)
+        for index, spec in enumerate(scenario.partitions):
+            region = sim.regions[spec.partition_id]
+            region.node = nodes[index % 3]
+            region.block_homes = {nodes[index % 3]}
+        harness = ExperimentHarness(sim, sample_every_seconds=30.0)
+        run = harness.run_for(120.0)
+        assert set(run.tenant_series) == set(sim.bindings)
+        for name, points in run.tenant_series.items():
+            assert len(points) == len(run.series)
+            entity = f"workload:{name}"
+            # Each sample is the mean of the tick series over its window.
+            first = points[1]
+            expected = sim.metrics.series(entity, "latency_ms").mean_between(
+                points[0].minute * 60.0, first.minute * 60.0
+            )
+            assert first.latency_ms == pytest.approx(expected)
+            assert run.tenant_peak_latency(name) >= run.tenant_mean_latency(name) > 0.0
+
+    def test_tenant_series_can_be_disabled(self):
+        sim = ClusterSimulator()
+        sim.add_node()
+        harness = ExperimentHarness(sim, record_tenant_series=False)
+        run = harness.run_for(60.0)
+        assert run.tenant_series == {}
+
+    def test_mean_between_is_half_open(self):
+        series = MetricSeries(name="x")
+        for t, v in [(5.0, 10.0), (10.0, 20.0), (15.0, 30.0)]:
+            series.record(t, v)
+        assert series.mean_between(5.0, 15.0) == pytest.approx(25.0)
+        assert series.mean_between(0.0, 5.0) == pytest.approx(10.0)
+        assert series.mean_between(20.0, 30.0, default=-1.0) == -1.0
+
+
+class TestScorecard:
+    def test_scorecard_row_reduces_a_run(self):
+        result = run_scenario(
+            CANNED_SCENARIOS["flash_crowd"], controller="met", keep_simulator=False
+        )
+        row = scorecard_row(result)
+        assert row.scenario == "flash_crowd" and row.controller == "met"
+        assert row.mean_throughput > 0.0
+        assert row.cost == pytest.approx(result.cost.total)
+        assert row.assertions_passed
+
+    def test_render_scorecard_pairs_controllers(self):
+        rows = [
+            ScorecardRow("s1", "met", 1000.0, 0.0, 0.02, 30.0, True),
+            ScorecardRow("s1", "tiramola", 900.0, 2.0, 0.03, 45.0, False),
+        ]
+        text = render_scorecard(rows)
+        lines = text.splitlines()
+        assert "met:viol-min" in lines[0] and "tiramola:viol-min" in lines[0]
+        assert lines[2].startswith("s1")
+        assert "NO" in lines[2]
+
+    def test_format_matchup_blanks_missing_groups(self):
+        text = format_matchup(
+            [("a", "g1", 1)],
+            key=lambda r: r[0],
+            group=lambda r: r[1],
+            columns=[("v", lambda r: str(r[2]))],
+        )
+        assert "g1:v" in text
+
+
+class TestTraceBackCompat:
+    def test_format2_fixture_fails_with_regenerate_hint(self):
+        fixture = FIXTURES / "flash_crowd__met.format2.json"
+        with pytest.raises(TraceFormatError, match="regenerate goldens"):
+            load_trace(fixture)
+
+    def test_current_goldens_load(self):
+        golden = load_trace(Path(__file__).parent / "golden" / "flash_crowd__met.json")
+        assert golden["tenant_series"]
+
+    def test_regen_check_reports_format_staleness_distinctly(self, tmp_path, monkeypatch):
+        spec = importlib.util.spec_from_file_location(
+            "regen_goldens", Path(__file__).parent.parent / "scripts" / "regen_goldens.py"
+        )
+        regen = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(regen)
+
+        stale = tmp_path / "some__met.json"
+        stale.write_text((FIXTURES / "flash_crowd__met.format2.json").read_text())
+        fresh_payload = (
+            Path(__file__).parent / "golden" / "flash_crowd__met.json"
+        ).read_text()
+        drifted = tmp_path / "other__met.json"
+        drifted.write_text(fresh_payload.replace("2400", "9999", 1))
+        corrupt = tmp_path / "broken__met.json"
+        corrupt.write_text(fresh_payload[: len(fresh_payload) // 2])
+
+        monkeypatch.setattr(regen, "GOLDEN_DIR", tmp_path)
+        monkeypatch.setattr(
+            regen,
+            "expected_payloads",
+            lambda: {stale: fresh_payload, drifted: fresh_payload, corrupt: fresh_payload},
+        )
+        report = tmp_path / "drift.txt"
+        printed = []
+        monkeypatch.setattr("builtins.print", lambda *a, **k: printed.append(" ".join(map(str, a))))
+        status = regen.check(diff_report=report)
+        assert status == 1
+        out = "\n".join(printed)
+        assert "stale-format" in out and "format 2" in out
+        assert "drifted" in out
+        # The stale file is labelled stale-format, never drifted; damaged
+        # JSON is labelled unparseable, not misdiagnosed as a format bump.
+        assert not any("drifted" in line and "some__met" in line for line in printed)
+        assert any("unparseable" in line and "broken__met" in line for line in printed)
+        assert "format None" not in out
+        diff_text = report.read_text()
+        assert "9999" in diff_text
+        # A stale-format golden contributes a one-line marker, not a wall of
+        # cross-schema value diffs that would bury real same-format drift.
+        assert "stale trace format" in diff_text
+        assert diff_text.count(stale.name) == 1
