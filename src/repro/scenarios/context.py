@@ -6,19 +6,20 @@ baseline throughput targets and the composite load multipliers.  Several
 load-shaping events can target the same tenant at once (a flash crowd on top
 of a diurnal curve); each contributes one keyed multiplier and the tenant's
 live target is ``baseline * product(multipliers)``.
+
+Tenants are :class:`~repro.workloads.tenant.TenantWorkload` implementations
+(YCSB, TPC-C, ...); the context resolves tenant names to simulator binding
+names through its registry, so events stay workload-agnostic strings.
 """
 
 from __future__ import annotations
-
-from dataclasses import replace
 
 from repro.hbase.balancer import RandomBalancer
 from repro.iaas.faults import FaultInjector
 from repro.iaas.provider import OpenStackProvider
 from repro.scenarios.spec import binding_name
 from repro.simulation.cluster import ClusterSimulator
-from repro.workloads.ycsb.scenario import binding_for
-from repro.workloads.ycsb.workloads import YCSBWorkload, partition_specs
+from repro.workloads.tenant import TenantWorkload, as_tenant
 
 
 class ScenarioContext:
@@ -36,6 +37,9 @@ class ScenarioContext:
         self.faults = FaultInjector(
             simulator, provider=provider, vm_ids=vm_ids, seed=self.rng
         )
+        #: Tenant name -> registered tenant workload (drives binding-name
+        #: resolution and native-unit reporting).
+        self._tenants: dict[str, TenantWorkload] = {}
         #: Tenant -> baseline target (None = uncapped; modulated as nominal).
         self._baselines: dict[str, float | None] = {}
         #: Tenant -> nominal throughput estimate, the modulation base when
@@ -47,12 +51,25 @@ class ScenarioContext:
     # ------------------------------------------------------------------ #
     # tenants
     # ------------------------------------------------------------------ #
-    def register_tenant(self, workload: YCSBWorkload) -> None:
-        """Record modulation baselines for a tenant already in the simulator."""
-        self._baselines[workload.name] = workload.target_ops_per_second
-        self._nominals[workload.name] = workload.nominal_ops_per_second
+    def _binding(self, tenant: str) -> str:
+        """Binding name of a tenant, via the registry when it is known.
 
-    def add_tenant(self, workload: YCSBWorkload, target_ops: float | None) -> str:
+        Falls back to the YCSB naming convention for tenants the context
+        never registered (robustness for hand-driven contexts in tests).
+        """
+        registered = self._tenants.get(tenant)
+        if registered is not None:
+            return registered.binding_name
+        return binding_name(tenant)
+
+    def register_tenant(self, workload: TenantWorkload) -> None:
+        """Record modulation baselines for a tenant already in the simulator."""
+        tenant = as_tenant(workload)
+        self._tenants[tenant.name] = tenant
+        self._baselines[tenant.name] = tenant.target_ops_per_second
+        self._nominals[tenant.name] = tenant.nominal_ops_per_second
+
+    def add_tenant(self, workload: TenantWorkload, target_ops: float | None) -> str:
         """A tenant arrives: create its partitions, place them, attach clients.
 
         Placement uses HBase's random balancer (what a freshly created table
@@ -60,28 +77,29 @@ class ScenarioContext:
         their nodes, as freshly loaded data would.
         """
         simulator = self.simulator
-        configured = replace(workload, target_ops_per_second=target_ops)
-        specs = partition_specs(configured)
+        configured = as_tenant(workload).with_target(target_ops)
+        specs = configured.region_specs()
         online = sorted(node.name for node in simulator.online_nodes())
         placement = RandomBalancer(seed=self.rng).assign(
-            [spec.partition_id for spec in specs], online
+            [spec.region_id for spec in specs], online
         )
         for spec in specs:
-            simulator.add_region(
-                region_id=spec.partition_id,
-                workload=binding_name(configured.name),
-                size_bytes=spec.size_bytes,
-                node=placement[spec.partition_id],
-                record_size=configured.record_size,
-                scan_length=configured.scan_length,
+            spec.create_in(
+                simulator, configured.binding_name, node=placement[spec.region_id]
             )
-        simulator.attach_workload(binding_for(configured))
+        simulator.attach_workload(configured.binding())
         self.register_tenant(configured)
         return f"partitions={len(specs)} nodes={len(online)}"
 
     def remove_tenant(self, tenant: str) -> str:
-        """A tenant departs: detach its clients (its data stays, as in HBase)."""
-        name = binding_name(tenant)
+        """A tenant departs: detach its clients (its data stays, as in HBase).
+
+        The registry entry stays too: the departed tenant's regions keep
+        their binding-name label, so later events that touch its data (a
+        growth burst on an orphaned dataset) must still resolve the same
+        binding name rather than fall back to the YCSB convention.
+        """
+        name = self._binding(tenant)
         self.simulator.detach_workload(name)
         self._baselines.pop(tenant, None)
         self._nominals.pop(tenant, None)
@@ -113,7 +131,7 @@ class ScenarioContext:
             # Every curve cleared: an uncapped tenant returns to uncapped
             # instead of staying pinned at its nominal estimate.
             self.simulator.update_workload(
-                binding_name(tenant), target_ops_per_second=None
+                self._binding(tenant), target_ops_per_second=None
             )
             return "target=uncapped"
         base = baseline if baseline is not None else self._nominals[tenant]
@@ -122,21 +140,21 @@ class ScenarioContext:
             product *= value
         target = base * product
         self.simulator.update_workload(
-            binding_name(tenant), target_ops_per_second=target
+            self._binding(tenant), target_ops_per_second=target
         )
         return f"target={target:.1f}"
 
     def set_mix(self, tenant: str, op_mix: dict[str, float]) -> str:
         """Replace a tenant's operation mix (one mix-shift interpolation step)."""
-        if binding_name(tenant) not in self.simulator.bindings:
+        if self._binding(tenant) not in self.simulator.bindings:
             return "tenant gone"
-        self.simulator.update_workload(binding_name(tenant), op_mix=op_mix)
+        self.simulator.update_workload(self._binding(tenant), op_mix=op_mix)
         mix = " ".join(f"{op}={share:.2f}" for op, share in sorted(op_mix.items()))
         return mix
 
     def grow_tenant_data(self, tenant: str, factor: float) -> str:
         """Multiply the size of every partition of a tenant (growth burst)."""
-        name = binding_name(tenant)
+        name = self._binding(tenant)
         grown = 0
         for region in self.simulator.regions.values():
             if region.workload == name:

@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from repro.scenarios.context import ScenarioContext
 from repro.scenarios.schedule import ScheduledAction, control_steps
 from repro.scenarios.spec import ScenarioSpec
-from repro.workloads.ycsb.workloads import YCSBWorkload
+from repro.workloads.tenant import TenantWorkload, as_tenant
 
 
 def _event_key(event, index_hint: str) -> str:
@@ -173,18 +173,24 @@ class FlashCrowd:
 
 @dataclass(frozen=True)
 class TenantArrival:
-    """A new tenant arrives mid-run with its own workload and partitions."""
+    """A new tenant arrives mid-run with its own workload and partitions.
+
+    ``workload`` is any :class:`~repro.workloads.tenant.TenantWorkload`
+    (a bare YCSB workload is adapted automatically), so TPC-C tenants can
+    arrive mid-run like key-value ones.
+    """
 
     minute: float
-    workload: YCSBWorkload
+    workload: TenantWorkload
     target_ops: float | None = None
 
     def compile(self, spec: ScenarioSpec, context: ScenarioContext) -> list[ScheduledAction]:
+        tenant = as_tenant(self.workload)
         return [
             ScheduledAction(
                 time_seconds=self.minute * 60.0,
-                label=f"tenant-arrival:{self.workload.name}",
-                apply=lambda: context.add_tenant(self.workload, self.target_ops),
+                label=f"tenant-arrival:{tenant.name}",
+                apply=lambda: context.add_tenant(tenant, self.target_ops),
                 annotate=True,
             )
         ]
@@ -247,6 +253,15 @@ class MixShift:
         )
         if source is None:
             raise ValueError(f"mix shift targets unknown tenant {self.tenant!r}")
+        if not source.workload.supports_mix_shift:
+            # A TPC-C tenant's operation mix is *derived* from its
+            # transaction mix; interpolating it directly would silently
+            # decouple the simulated load from the benchmark's semantics.
+            raise ValueError(
+                f"mix shift targets tenant {self.tenant!r} whose operation mix "
+                f"is derived from {type(source.workload).__name__} semantics "
+                "and cannot be shifted; target a YCSB tenant instead"
+            )
         from_mix = dict(source.workload.op_mix)
         actions = [
             ScheduledAction(

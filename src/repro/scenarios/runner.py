@@ -32,7 +32,6 @@ from repro.scenarios.schedule import compile_spec
 from repro.scenarios.spec import ScenarioSpec
 from repro.simulation.cluster import ClusterSimulator
 from repro.simulation.hardware import HardwareSpec
-from repro.workloads.ycsb.scenario import build_paper_scenario
 
 #: Controllers a scenario can run under.
 CONTROLLERS = ("none", "met", "tiramola")
@@ -82,6 +81,43 @@ class ScenarioRunResult:
         """Whether every evaluated assertion held (vacuously true if none)."""
         return all(result.passed for result in self.assertions)
 
+    def tenant_units(self) -> dict[str, str]:
+        """Native throughput unit of every spec-declared tenant.
+
+        Keyed by binding name (the key of :attr:`StrategyRun.tenant_series`);
+        covers the initial tenants plus mid-run arrivals, derived from the
+        spec so the mapping exists even when the simulator was discarded.
+        """
+        from repro.workloads.tenant import as_tenant
+
+        units = {
+            tenant.workload.binding_name: tenant.workload.unit_label
+            for tenant in self.spec.tenants
+        }
+        for event in self.spec.events:
+            arriving = getattr(event, "workload", None)
+            if arriving is not None:
+                tenant = as_tenant(arriving)
+                units[tenant.binding_name] = tenant.unit_label
+        return units
+
+
+def materialise_tenants(simulator: ClusterSimulator, tenants) -> list:
+    """Create every tenant's partitions and client binding in ``simulator``.
+
+    ``tenants`` are configured :class:`~repro.workloads.tenant.TenantWorkload`
+    objects (any mix of YCSB and TPC-C).  Partitions are created unassigned;
+    the returned expected per-partition request mixes feed the initial
+    manual placement, exactly as a profiling run would.
+    """
+    expected = []
+    for tenant in tenants:
+        for spec in tenant.region_specs():
+            spec.create_in(simulator, tenant.binding_name)
+        simulator.attach_workload(tenant.binding())
+        expected.extend(tenant.partition_workloads())
+    return expected
+
 
 def build_scenario(
     spec: ScenarioSpec, kernel: str = "fast"
@@ -95,12 +131,13 @@ def build_scenario(
     )
     provider = OpenStackProvider(simulator.clock, boot_seconds=simulator.boot_seconds)
     nodes = [simulator.add_node() for _ in range(spec.initial_nodes)]
-    scenario = build_paper_scenario(simulator, workloads=spec.workloads())
-    plan = manual_homogeneous(scenario.expected_partition_workloads(), nodes)
+    configured = [tenant.configured_workload() for tenant in spec.tenants]
+    expected = materialise_tenants(simulator, configured)
+    plan = manual_homogeneous(expected, nodes)
     apply_placement(simulator, plan)
     context = ScenarioContext(simulator, provider=provider)
-    for tenant in spec.tenants:
-        context.register_tenant(tenant.configured_workload())
+    for tenant in configured:
+        context.register_tenant(tenant)
     return simulator, provider, context, nodes
 
 

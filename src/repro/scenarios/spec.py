@@ -1,12 +1,14 @@
 """Declarative scenario specifications.
 
 A :class:`ScenarioSpec` describes one time-varying multi-tenant experiment:
-the cluster (node count, hardware, tick), the tenants (YCSB workloads with
-baseline throughput targets) and a list of timed *events* -- load curves,
-flash crowds, tenant churn, workload-mix shifts, node faults, data-growth
-bursts (see :mod:`repro.scenarios.events`).  Specs are pure data: compiling
-one against a live simulator (:func:`repro.scenarios.schedule.compile_spec`)
-produces the event schedule the experiment harness drives.
+the cluster (node count, hardware, tick), the tenants (any
+:class:`~repro.workloads.tenant.TenantWorkload` -- YCSB key-value tenants,
+TPC-C transactional tenants -- with baseline throughput targets) and a list
+of timed *events* -- load curves, flash crowds, tenant churn, workload-mix
+shifts, node faults, data-growth bursts (see :mod:`repro.scenarios.events`).
+Specs are pure data: compiling one against a live simulator
+(:func:`repro.scenarios.schedule.compile_spec`) produces the event schedule
+the experiment harness drives.
 
 Everything random in a scenario run -- fault victim selection, arriving
 tenant placement, the HBase balancer daemon -- draws from the simulator's
@@ -18,8 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.simulation.hardware import HardwareSpec
+from repro.workloads.tenant import TenantWorkload, as_tenant
 from repro.workloads.ycsb.scenario import binding_name
-from repro.workloads.ycsb.workloads import YCSBWorkload
 
 __all__ = ["ScenarioSpec", "TenantSpec", "binding_name"]
 
@@ -28,25 +30,29 @@ __all__ = ["ScenarioSpec", "TenantSpec", "binding_name"]
 class TenantSpec:
     """One tenant present from the start of the scenario.
 
-    ``target_ops`` is the tenant's *baseline* throughput cap; load-shaping
-    events (diurnal curves, flash crowds) modulate it multiplicatively.
-    ``None`` leaves the tenant uncapped, in which case load events modulate
-    the workload's nominal throughput estimate instead.
+    ``workload`` is any :class:`~repro.workloads.tenant.TenantWorkload`; a
+    bare :class:`~repro.workloads.ycsb.workloads.YCSBWorkload` is wrapped in
+    its adapter automatically.  ``target_ops`` is the tenant's *baseline*
+    throughput cap in simulator ops/s; load-shaping events (diurnal curves,
+    flash crowds) modulate it multiplicatively.  ``None`` leaves the tenant
+    uncapped, in which case load events modulate the workload's nominal
+    throughput estimate instead.
     """
 
-    workload: YCSBWorkload
+    workload: TenantWorkload
     target_ops: float | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "workload", as_tenant(self.workload))
 
     @property
     def name(self) -> str:
         """Tenant name (the workload's name)."""
         return self.workload.name
 
-    def configured_workload(self) -> YCSBWorkload:
-        """The workload with the baseline target applied."""
-        if self.target_ops == self.workload.target_ops_per_second:
-            return self.workload
-        return replace(self.workload, target_ops_per_second=self.target_ops)
+    def configured_workload(self) -> TenantWorkload:
+        """The tenant workload with the baseline target applied."""
+        return self.workload.with_target(self.target_ops)
 
 
 @dataclass(frozen=True)
@@ -102,10 +108,6 @@ class ScenarioSpec:
     def tenant_names(self) -> list[str]:
         """Names of the initially present tenants."""
         return [tenant.name for tenant in self.tenants]
-
-    def workloads(self) -> dict[str, YCSBWorkload]:
-        """Initial tenants as configured workloads keyed by name."""
-        return {t.name: t.configured_workload() for t in self.tenants}
 
     def with_events(self, *events) -> "ScenarioSpec":
         """A copy of this spec with ``events`` appended."""

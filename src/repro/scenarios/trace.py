@@ -29,7 +29,11 @@ from repro.scenarios.spec import ScenarioSpec
 #: Format 3 added the SLA sections: per-tenant latency/throughput series
 #: (``tenant_series``), SLO verdicts (``slo``) and the cost envelope
 #: (``cost``).
-TRACE_FORMAT = 3
+#: Format 4 added native throughput units (multi-workload tenants): each
+#: ``slo`` entry carries the ``unit`` its floor is declared in, and
+#: ``tenant_units`` maps every tenant binding to its native unit label
+#: (``ops/s`` for YCSB, ``tpmC`` for TPC-C).
+TRACE_FORMAT = 4
 
 #: Controllers every canned scenario is goldened under.
 GOLDEN_CONTROLLERS = ("met", "tiramola")
@@ -127,6 +131,7 @@ def result_trace(result: ScenarioRunResult) -> dict:
             {
                 "slo": report.slo.describe(),
                 "tenant": report.slo.tenant,
+                "unit": report.slo.unit,
                 "samples": report.samples,
                 "violations": len(report.violations),
                 "violation_minutes": _round(report.violation_minutes),
@@ -134,6 +139,9 @@ def result_trace(result: ScenarioRunResult) -> dict:
             }
             for report in result.slo_reports
         ],
+        # Native throughput unit of every tenant the spec declares (initial
+        # tenants and mid-run arrivals), keyed by binding name.
+        "tenant_units": dict(sorted(result.tenant_units().items())),
         "cost": {
             "pricing": result.cost.pricing if result.cost else "",
             "total": _round(result.cost.total) if result.cost else 0.0,

@@ -9,7 +9,7 @@ cluster.
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
@@ -42,8 +42,15 @@ class MetricSeries:
         return self.values[-1] if self.values else default
 
     def window(self, start: float, end: float) -> list[tuple[float, float]]:
-        """Samples with ``start <= timestamp <= end``."""
-        lo = bisect_left(self.timestamps, start)
+        """Samples with ``start < timestamp <= end``.
+
+        Half-open like :meth:`mean_between`, so chained windows
+        (``window(0, 10)`` then ``window(10, 20)``) partition the series
+        without double-counting the boundary tick.  The very first window
+        of a series should therefore start strictly before its first
+        timestamp (e.g. at ``-inf`` or any time before recording began).
+        """
+        lo = bisect_right(self.timestamps, start)
         hi = bisect_right(self.timestamps, end)
         return list(zip(self.timestamps[lo:hi], self.values[lo:hi]))
 

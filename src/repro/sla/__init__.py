@@ -35,10 +35,14 @@ from repro.sla.slo import (
     evaluate_slos,
     tenant_points,
 )
+from repro.sla.units import OPS_PER_SECOND, TPMC, RATE_UNITS, to_native_rate
 
 __all__ = [
     "DEFAULT_PRICING",
+    "OPS_PER_SECOND",
     "PRICING_MODELS",
+    "RATE_UNITS",
+    "TPMC",
     "CostEnvelope",
     "FlavorCharge",
     "PricingModel",
@@ -50,6 +54,7 @@ __all__ = [
     "machine_minute_ledger",
     "pricing_model",
     "tenant_points",
+    "to_native_rate",
 ]
 
 

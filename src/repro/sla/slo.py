@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.sla.units import OPS_PER_SECOND, to_native_rate
 from repro.workloads.ycsb.scenario import binding_name
 
 __all__ = [
@@ -37,18 +38,24 @@ class SLODefinition:
 
     ``latency_ceiling_ms`` bounds the tenant's mean request latency per
     sampling window; ``throughput_floor`` guarantees a minimum achieved
-    rate (ops/s).  Either may be ``None``; at least one must be set.
-    ``warmup_minutes`` exempts the run's cold start -- closed-loop
-    throughput ramps from the solver's seed during the first samples, and
-    an SLO should judge steady-state service, not the simulator warming up.
-    A sample is exempt unless its *whole* sampling window lies past the
-    warmup (see :func:`post_warmup_points`).
+    rate, declared in ``unit`` -- the simulator's ``"ops/s"`` by default,
+    or a tenant's native unit (``"tpmC"`` for TPC-C; see
+    :mod:`repro.sla.units`), in which case each observed sample is
+    converted before judging.  Either bound may be ``None``; at least one
+    must be set.  ``warmup_minutes`` exempts the tenant's cold start --
+    closed-loop throughput ramps from the solver's seed during its first
+    samples, and an SLO should judge steady-state service, not the
+    simulator warming up.  The warmup is measured from the start of the
+    *tenant's* first recorded window (a mid-run arrival gets the same ramp
+    grace as a run-start tenant), and a sample is exempt unless its whole
+    sampling window lies past it (see :func:`post_warmup_points`).
     """
 
     tenant: str
     latency_ceiling_ms: float | None = None
     throughput_floor: float | None = None
     warmup_minutes: float = 1.0
+    unit: str = OPS_PER_SECOND
 
     def __post_init__(self) -> None:
         if self.latency_ceiling_ms is None and self.throughput_floor is None:
@@ -60,6 +67,9 @@ class SLODefinition:
             raise ValueError("latency ceiling must be positive")
         if self.throughput_floor is not None and self.throughput_floor < 0:
             raise ValueError("throughput floor must be non-negative")
+        # Reject unknown units at declaration time, not at evaluation time:
+        # a typo'd unit in a spec should fail when the spec is built.
+        to_native_rate(self.unit, 0.0)
 
     def describe(self) -> str:
         """Canonical one-line rendering, e.g. ``A: latency<=40ms``."""
@@ -67,7 +77,7 @@ class SLODefinition:
         if self.latency_ceiling_ms is not None:
             bounds.append(f"latency<={self.latency_ceiling_ms:g}ms")
         if self.throughput_floor is not None:
-            bounds.append(f"throughput>={self.throughput_floor:g}ops/s")
+            bounds.append(f"throughput>={self.throughput_floor:g}{self.unit}")
         return f"{self.tenant}: " + " ".join(bounds)
 
 
@@ -126,15 +136,30 @@ def post_warmup_points(points, warmup_minutes: float) -> list:
     sample is only judged when its window **starts** at or after the
     warmup deadline -- filtering on the end minute would judge a sample
     composed almost entirely of warmup-period ticks.  The window start is
-    the preceding sample's minute; a series' first sample (run start, or a
-    tenant's mid-run arrival) counts its window from the run start, so any
-    positive warmup exempts it -- a fresh closed loop ramps from the
-    solver's seed during its first window.
+    the preceding sample's minute.
+
+    The warmup clock starts at the beginning of the **tenant's first
+    recorded window**, not at the run start: a tenant arriving at minute 30
+    with a 2-minute warmup ramps its closed loop from the solver's seed
+    exactly like a run-start tenant does, so it gets the same exemption
+    window (measuring from the run start would judge its ramp-up samples
+    the moment the first one passed).  The first window's start is inferred
+    from the series' sampling cadence -- the gap between the first two
+    samples; a single-sample series falls back to a window from the run
+    start, which exempts the sample under any positive warmup.
     """
+    if not points:
+        return []
+    if len(points) > 1:
+        cadence = points[1].minute - points[0].minute
+    else:
+        cadence = points[0].minute
+    first_window_start = max(0.0, points[0].minute - cadence)
+    deadline = first_window_start + warmup_minutes
     judged = []
-    window_start = 0.0
+    window_start = first_window_start
     for point in points:
-        if window_start >= warmup_minutes:
+        if window_start >= deadline - 1e-9:
             judged.append(point)
         window_start = point.minute
     return judged
@@ -152,6 +177,10 @@ def evaluate_slo(slo: SLODefinition, run, sample_minutes: float = 1.0) -> SLORep
     the tenant-visible symptom).  A tenant with no recorded series produces
     an empty, satisfied report -- the caller declared an SLO for a tenant
     that never ran, which the scenario-level assertions surface separately.
+
+    Throughput floors declared in a native unit (``unit="tpmC"``) convert
+    each observed ops/s sample into that unit before comparing, and the
+    violation's ``observed``/``bound`` are recorded natively.
     """
     points = post_warmup_points(tenant_points(run, slo.tenant), slo.warmup_minutes)
     violations: list[SLOViolation] = []
@@ -168,15 +197,17 @@ def evaluate_slo(slo: SLODefinition, run, sample_minutes: float = 1.0) -> SLORep
                     bound=slo.latency_ceiling_ms,
                 )
             )
-        elif slo.throughput_floor is not None and point.throughput < slo.throughput_floor:
-            violations.append(
-                SLOViolation(
-                    minute=point.minute,
-                    kind="throughput",
-                    observed=point.throughput,
-                    bound=slo.throughput_floor,
+        elif slo.throughput_floor is not None:
+            observed = to_native_rate(slo.unit, point.throughput)
+            if observed < slo.throughput_floor:
+                violations.append(
+                    SLOViolation(
+                        minute=point.minute,
+                        kind="throughput",
+                        observed=observed,
+                        bound=slo.throughput_floor,
+                    )
                 )
-            )
     return SLOReport(
         slo=slo,
         samples=len(points),

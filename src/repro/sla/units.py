@@ -1,0 +1,53 @@
+"""Throughput-rate units SLO bounds can be declared in.
+
+The simulator measures every tenant in key-value operations per second, but
+a tenant's *promise* is naturally stated in its own unit -- a TPC-C tenant
+is sold tpmC (new-order transactions per minute), not raw key-value ops.
+This module owns the conversion registry: a unit maps a simulator ops/s
+figure into the native unit, and the SLO evaluator converts each observed
+sample before judging it against a floor declared natively.
+
+Units are registered lazily (the tpmC converter lives with the TPC-C
+transaction mix) so the SLA layer never imports workload packages at import
+time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["OPS_PER_SECOND", "TPMC", "RATE_UNITS", "known_units", "to_native_rate"]
+
+#: The simulator's own unit (identity conversion).
+OPS_PER_SECOND = "ops/s"
+#: TPC-C new-order transactions per minute.
+TPMC = "tpmC"
+
+
+def _tpmc(ops_per_second: float) -> float:
+    from repro.workloads.tpcc.driver import tpmc_from_ops_rate
+
+    return tpmc_from_ops_rate(ops_per_second)
+
+
+#: Unit name -> converter from simulator ops/s into the native unit.
+RATE_UNITS: dict[str, Callable[[float], float]] = {
+    OPS_PER_SECOND: lambda ops_per_second: ops_per_second,
+    TPMC: _tpmc,
+}
+
+
+def known_units() -> list[str]:
+    """Registered unit names, for error messages."""
+    return sorted(RATE_UNITS)
+
+
+def to_native_rate(unit: str, ops_per_second: float) -> float:
+    """Convert a simulator ops/s rate into ``unit``."""
+    try:
+        converter = RATE_UNITS[unit]
+    except KeyError:
+        raise ValueError(
+            f"unknown throughput unit {unit!r}; known units: {known_units()}"
+        ) from None
+    return converter(ops_per_second)

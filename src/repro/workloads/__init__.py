@@ -1,6 +1,23 @@
-"""Workload generators: YCSB core workloads A-F and a TPC-C (PyTPCC) port."""
+"""Workload generators: YCSB core workloads A-F and a TPC-C (PyTPCC) port.
 
-from repro.workloads.ycsb.workloads import CORE_WORKLOADS, YCSBWorkload
+Both expose scenario-tenant adapters (:class:`YCSBTenant`,
+:class:`TPCCTenant`) implementing the :class:`TenantWorkload` protocol the
+scenario engine speaks, so heterogeneous tenants compose in one scenario.
+"""
+
+from repro.workloads.tenant import TenantRegionSpec, TenantWorkload, as_tenant
 from repro.workloads.tpcc.driver import TPCCDriver
+from repro.workloads.tpcc.tenant import TPCCTenant
+from repro.workloads.ycsb.tenant import YCSBTenant
+from repro.workloads.ycsb.workloads import CORE_WORKLOADS, YCSBWorkload
 
-__all__ = ["CORE_WORKLOADS", "YCSBWorkload", "TPCCDriver"]
+__all__ = [
+    "CORE_WORKLOADS",
+    "TPCCDriver",
+    "TPCCTenant",
+    "TenantRegionSpec",
+    "TenantWorkload",
+    "YCSBTenant",
+    "YCSBWorkload",
+    "as_tenant",
+]

@@ -14,9 +14,17 @@ Two execution modes are provided:
   rates for the cluster simulator (the Table 2 experiment).
 """
 
-from repro.workloads.tpcc.driver import TPCCDriver, TPCCResult, simulator_binding
+from repro.workloads.tpcc.driver import (
+    TPCCDriver,
+    TPCCResult,
+    ops_rate_from_tpmc,
+    simulator_binding,
+    tpmc_from_ops,
+    tpmc_from_ops_rate,
+)
 from repro.workloads.tpcc.loader import TPCCLoader
 from repro.workloads.tpcc.schema import TPCC_TABLES, TPCCConfig
+from repro.workloads.tpcc.tenant import TPCCTenant
 from repro.workloads.tpcc.transactions import TRANSACTION_MIX, TransactionProfile
 
 __all__ = [
@@ -24,8 +32,12 @@ __all__ = [
     "TPCCResult",
     "TPCCLoader",
     "TPCCConfig",
+    "TPCCTenant",
     "TPCC_TABLES",
     "TRANSACTION_MIX",
     "TransactionProfile",
+    "ops_rate_from_tpmc",
     "simulator_binding",
+    "tpmc_from_ops",
+    "tpmc_from_ops_rate",
 ]

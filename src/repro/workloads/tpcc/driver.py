@@ -94,16 +94,43 @@ def tpmc_from_ops_rate(ops_per_second: float) -> float:
     return tx_per_second * new_order_share * 60.0
 
 
-def simulator_binding(config: TPCCConfig | None = None) -> WorkloadBinding:
-    """Closed-loop client binding for the analytical TPC-C experiment."""
+#: Alias matching the "tpmC from ops" phrasing used around the repo.
+tpmc_from_ops = tpmc_from_ops_rate
+
+
+def ops_rate_from_tpmc(tpmc: float) -> float:
+    """Convert a tpmC figure back into the key-value operation rate.
+
+    Exact inverse of :func:`tpmc_from_ops_rate`; the SLA layer uses it to
+    judge simulator ops/s series against throughput floors declared in a
+    TPC-C tenant's native unit.
+    """
+    new_order_share = TRANSACTION_MIX["new_order"].weight
+    tx_per_second = tpmc / (new_order_share * 60.0)
+    return tx_per_second * operations_per_transaction()
+
+
+def simulator_binding(
+    config: TPCCConfig | None = None,
+    name: str = "tpcc",
+    target_ops_per_second: float | None = None,
+) -> WorkloadBinding:
+    """Closed-loop client binding for the analytical TPC-C experiment.
+
+    ``name`` names the binding *and* prefixes the warehouse-aligned
+    partition ids, so multiple TPC-C tenants can share a simulator;
+    ``target_ops_per_second`` optionally caps the client population (in
+    simulator key-value ops/s, as with YCSB bindings).
+    """
     config = config or TPCCConfig()
-    partition_ids = config.partition_ids()
+    partition_ids = config.partition_ids(prefix=name)
     weight = 1.0 / len(partition_ids)
     return WorkloadBinding(
-        name="tpcc",
+        name=name,
         threads=config.clients,
         op_mix=aggregate_operation_mix(),
         region_weights={partition_id: weight for partition_id in partition_ids},
+        target_ops_per_second=target_ops_per_second,
         record_size=TPCC_RECORD_SIZE,
         scan_length=TPCC_SCAN_LENGTH,
     )

@@ -123,9 +123,13 @@ class TPCCConfig:
             + self.items * ROW_BYTES["item"] * STORAGE_OVERHEAD
         )
 
-    def partition_ids(self) -> list[str]:
-        """Ids of the warehouse-aligned partitions."""
-        return [f"tpcc:wpart-{index}" for index in range(self.partitions)]
+    def partition_ids(self, prefix: str = "tpcc") -> list[str]:
+        """Ids of the warehouse-aligned partitions.
+
+        ``prefix`` namespaces the ids per tenant so several TPC-C tenants
+        (or a TPC-C tenant next to YCSB ones) can coexist in one simulator.
+        """
+        return [f"{prefix}:wpart-{index}" for index in range(self.partitions)]
 
 
 # --------------------------------------------------------------------------- #

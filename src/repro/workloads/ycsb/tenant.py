@@ -1,0 +1,68 @@
+"""The YCSB implementation of the scenario tenant protocol.
+
+A thin frozen adapter: every semantic -- partitions, hotspot weights,
+nominal-rate estimate, binding construction -- delegates to the existing
+YCSB workload machinery unchanged, so scenario behaviour is identical to
+when the engine spoke :class:`YCSBWorkload` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.workloads.tenant import TenantRegionSpec, TenantWorkload
+from repro.workloads.ycsb.scenario import binding_for, binding_name
+from repro.workloads.ycsb.workloads import YCSBWorkload, partition_specs
+
+__all__ = ["YCSBTenant"]
+
+
+@dataclass(frozen=True)
+class YCSBTenant(TenantWorkload):
+    """One YCSB tenant (the key-value side of a heterogeneous scenario)."""
+
+    workload: YCSBWorkload
+
+    unit_label = "ops/s"
+    supports_mix_shift = True
+
+    @property
+    def name(self) -> str:
+        return self.workload.name
+
+    @property
+    def binding_name(self) -> str:
+        return binding_name(self.workload.name)
+
+    @property
+    def target_ops_per_second(self) -> float | None:
+        return self.workload.target_ops_per_second
+
+    @property
+    def nominal_ops_per_second(self) -> float:
+        return self.workload.nominal_ops_per_second
+
+    @property
+    def op_mix(self) -> dict[str, float]:
+        return self.workload.op_mix
+
+    def with_target(self, target_ops: float | None) -> "YCSBTenant":
+        if target_ops == self.workload.target_ops_per_second:
+            return self
+        return YCSBTenant(replace(self.workload, target_ops_per_second=target_ops))
+
+    def binding(self):
+        return binding_for(self.workload)
+
+    def region_specs(self) -> list[TenantRegionSpec]:
+        workload = self.workload
+        return [
+            TenantRegionSpec(
+                region_id=spec.partition_id,
+                size_bytes=spec.size_bytes,
+                weight=spec.weight,
+                record_size=workload.record_size,
+                scan_length=workload.scan_length,
+            )
+            for spec in partition_specs(workload)
+        ]

@@ -91,21 +91,14 @@ class YCSBWorkload:
         The manual strategies of Section 3.3 balance partitions using the
         *observed* request counts of each workload; this estimate plays that
         role without requiring a profiling run.  It scales the thread count
-        by how expensive the workload's operation mix is (scans are an order
-        of magnitude more expensive than point operations) and applies the
-        workload's target cap when one is configured.
+        by how expensive the workload's operation mix is (the shared
+        :data:`~repro.workloads.tenant.OP_RATE_FACTORS`, so heterogeneous
+        tenants size on one scale) and applies the workload's target cap
+        when one is configured.
         """
-        op_rate_factors = {
-            "read": 1.0,
-            "update": 0.9,
-            "insert": 0.9,
-            "scan": 0.12,
-            "read_modify_write": 0.5,
-        }
-        factor = sum(
-            share * op_rate_factors[op] for op, share in self.op_mix.items()
-        )
-        estimate = self.threads * 320.0 * factor
+        from repro.workloads.tenant import nominal_rate_estimate
+
+        estimate = nominal_rate_estimate(self.threads, self.op_mix)
         if self.target_ops_per_second is not None:
             estimate = min(estimate, self.target_ops_per_second)
         return estimate

@@ -294,6 +294,63 @@ class TestChurnAndMixEvents:
             # One of four minutes elapsed: 16x ** (1/4) = 2x, not 16x.
             assert after / before == pytest.approx(2.0, rel=1e-9)
 
+    def test_mix_shift_on_tpcc_tenant_is_a_compile_time_error(self):
+        """A TPC-C tenant's op mix is transaction-derived: shifting it must
+        be rejected when the spec compiles, not silently corrupt the mix."""
+        from repro.scenarios.catalog import SMALL_TPCC
+
+        spec = ScenarioSpec(
+            name="bad-mix-shift",
+            tenants=(TenantSpec(SMALL_TPCC, target_ops=1500.0),),
+            events=(
+                MixShift(tenant="tpcc", start_minute=1.0, end_minute=3.0,
+                         to_mix=(("update", 1.0),)),
+            ),
+            duration_minutes=5.0,
+        )
+        simulator, _, context, _ = build_scenario(spec)
+        mix_before = dict(simulator.bindings["tpcc"].op_mix)
+        with pytest.raises(ValueError, match="derived from TPCCTenant"):
+            compile_spec(spec, context)
+        assert simulator.bindings["tpcc"].op_mix == mix_before
+
+    def test_tpcc_tenant_arrival_and_departure(self):
+        """TPC-C tenants churn through scenarios like key-value ones."""
+        from repro.workloads.tpcc.schema import TPCCConfig
+        from repro.workloads.tpcc.tenant import TPCCTenant
+
+        arriving = TPCCTenant(
+            name="tpcc-late",
+            config=TPCCConfig(warehouses=4, warehouses_per_node=2, clients=10,
+                              scale_factor=0.02),
+        )
+        spec = two_tenant_spec(
+            events=(
+                TenantArrival(minute=1.0, workload=arriving, target_ops=400.0),
+                TenantDeparture(minute=3.0, tenant="tpcc-late"),
+            ),
+        )
+        simulator, _, context, _ = build_scenario(spec)
+        schedule = compile_spec(spec, context)
+        schedule.fire_due(60.0)
+        binding = simulator.bindings["tpcc-late"]
+        assert binding.target_ops_per_second == 400.0
+        new_regions = [
+            r for r in simulator.regions.values() if r.workload == "tpcc-late"
+        ]
+        assert len(new_regions) == arriving.config.partitions
+        assert all(r.node is not None for r in new_regions)
+        # The TPC-C read skew hints reached the simulator's regions.
+        assert all(r.hot_data_fraction == pytest.approx(0.05) for r in new_regions)
+        schedule.fire_due(180.0)
+        assert "tpcc-late" not in simulator.bindings
+        assert all(r.region_id in simulator.regions for r in new_regions)
+        # The departed tenant's name still resolves to its own binding name:
+        # a growth burst on the orphaned dataset must find the regions, not
+        # fall back to the YCSB naming convention and silently grow nothing.
+        detail = context.grow_tenant_data("tpcc-late", 2.0)
+        assert f"over {arriving.config.partitions} partitions" in detail
+
     def test_update_workload_rejects_unknown_tenant(self):
         simulator = ClusterSimulator()
         with pytest.raises(SimulationError, match="unknown workload"):

@@ -82,12 +82,44 @@ class TestMetricSeries:
         with pytest.raises(ValueError):
             series.record(4.0, 1.0)
 
-    def test_window_selects_inclusive_range(self):
+    def test_window_selects_half_open_range(self):
+        """window is (start, end], matching mean_between."""
         series = MetricSeries("x")
         for t in range(10):
             series.record(float(t), float(t))
         window = series.window(2.0, 5.0)
-        assert [v for _, v in window] == [2.0, 3.0, 4.0, 5.0]
+        assert [v for _, v in window] == [3.0, 4.0, 5.0]
+        # A window opened before the first sample includes it.
+        assert [v for _, v in series.window(-1.0, 1.0)] == [0.0, 1.0]
+
+    def test_chained_windows_partition_without_double_counting(self):
+        """Adjacent windows share a boundary tick without double-counting it,
+        and agree with mean_between on exactly which samples they hold."""
+        series = MetricSeries("x")
+        for t in range(10):
+            series.record(float(t), float(t))
+        first = series.window(-1.0, 4.0)
+        second = series.window(4.0, 9.0)
+        chained = [v for _, v in first] + [v for _, v in second]
+        assert chained == [float(t) for t in range(10)]
+        # The boundary tick t=4 lands in exactly one window.
+        assert sum(1 for _, v in first + second if v == 4.0) == 1
+        # mean_between sees the same half-open partitions.
+        assert series.mean_between(-1.0, 4.0) == pytest.approx(
+            sum(v for _, v in first) / len(first)
+        )
+        assert series.mean_between(4.0, 9.0) == pytest.approx(
+            sum(v for _, v in second) / len(second)
+        )
+
+    def test_mean_between_boundary_semantics(self):
+        """mean_between is (start, end]: excludes start, includes end."""
+        series = MetricSeries("x")
+        for t in range(5):
+            series.record(float(t), float(t))
+        assert series.mean_between(1.0, 3.0) == pytest.approx(2.5)  # {2, 3}
+        assert series.mean_between(3.0, 3.0) == 0.0  # empty window -> default
+        assert series.mean_between(3.0, 2.0, default=-1.0) == -1.0
 
     def test_mean_and_max_over_last_n(self):
         series = MetricSeries("x")

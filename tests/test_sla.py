@@ -127,6 +127,85 @@ class TestEvaluateSLO:
         assert report.samples == 0 and report.satisfied
 
 
+class TestWarmupFromFirstWindow:
+    """The warmup exemption is measured from the *tenant's* first window.
+
+    Regression for the warmup asymmetry: a tenant arriving at minute 30
+    with ``warmup_minutes=2`` used to have only its first sample exempted
+    (warmup was measured from the run start, long since elapsed) while a
+    run-start tenant got the full two-minute window.
+    """
+
+    def test_late_tenant_gets_the_full_warmup_window(self):
+        points = [(m, 900.0, 99.0) for m in (31.0, 32.0, 33.0, 34.0, 35.0)]
+        run = make_run(points=points)
+        slo = SLODefinition(tenant="A", latency_ceiling_ms=50.0, warmup_minutes=2.0)
+        report = evaluate_slo(slo, run)
+        # First window starts at 30m, so the deadline is 32m: the ramp-up
+        # samples at 31m and 32m are exempt.  Pre-fix only 31m was.
+        assert report.samples == 3
+        assert [v.minute for v in report.violations] == [33.0, 34.0, 35.0]
+
+    def test_run_start_tenant_semantics_unchanged(self):
+        points = [(m, 900.0, 99.0) for m in (1.0, 2.0, 3.0, 4.0)]
+        slo = SLODefinition(tenant="A", latency_ceiling_ms=50.0, warmup_minutes=2.0)
+        report = evaluate_slo(slo, make_run(points=points))
+        assert [v.minute for v in report.violations] == [3.0, 4.0]
+
+    def test_single_sample_series_stays_exempt_under_positive_warmup(self):
+        run = make_run(points=[(31.0, 900.0, 99.0)])
+        slo = SLODefinition(tenant="A", latency_ceiling_ms=50.0, warmup_minutes=1.0)
+        assert evaluate_slo(slo, run).samples == 0
+
+    def test_tenant_arrival_scenario_exempts_ramp_samples(self):
+        """End-to-end: a TenantArrival tenant's ramp-up is warmup-exempt."""
+        from repro.scenarios import ScenarioSpec, TenantArrival, TenantSpec
+        from repro.scenarios.catalog import SMALL_A, SMALL_E
+
+        spec = ScenarioSpec(
+            name="late-arrival-warmup",
+            tenants=(TenantSpec(SMALL_A, target_ops=1500.0),),
+            events=(TenantArrival(minute=3.0, workload=SMALL_E, target_ops=300.0),),
+            slos=(
+                SLODefinition(tenant="E", latency_ceiling_ms=50.0, warmup_minutes=2.0),
+            ),
+            duration_minutes=8.0,
+        )
+        result = run_scenario(spec, controller="none", keep_simulator=False)
+        report = result.slo_reports[0]
+        # E samples at 3.08m..7.08m (five samples); its first window starts
+        # at 2.08m, so the 2-minute warmup exempts the samples at 3.08m and
+        # 4.08m.  Pre-fix, the run-start warmup deadline (2m) exempted only
+        # the first.
+        assert report.samples == 3
+        assert report.satisfied
+
+
+class TestNativeRateUnits:
+    def test_tpmc_floor_converts_observations(self):
+        from repro.workloads.tpcc.driver import tpmc_from_ops_rate
+
+        run = make_run(
+            tenant="tpcc",
+            points=[(1.0, 2000.0, 1.0), (2.0, 2000.0, 1.0), (3.0, 1000.0, 1.0)],
+        )
+        floor = tpmc_from_ops_rate(1500.0)  # between the two observed rates
+        slo = SLODefinition(tenant="tpcc", throughput_floor=floor, unit="tpmC")
+        report = evaluate_slo(slo, run)
+        assert [v.minute for v in report.violations] == [3.0]
+        observed = report.violations[0].observed
+        assert observed == pytest.approx(tpmc_from_ops_rate(1000.0))
+        assert observed < floor
+
+    def test_describe_carries_the_unit(self):
+        slo = SLODefinition(tenant="tpcc", throughput_floor=1800.0, unit="tpmC")
+        assert slo.describe() == "tpcc: throughput>=1800tpmC"
+
+    def test_unknown_unit_rejected_at_declaration(self):
+        with pytest.raises(ValueError, match="unknown throughput unit"):
+            SLODefinition(tenant="tpcc", throughput_floor=1.0, unit="furlongs")
+
+
 class TestPricing:
     def test_cost_of_prices_per_flavor(self):
         pricing = PricingModel(

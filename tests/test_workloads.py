@@ -5,14 +5,19 @@ import pytest
 from repro.hbase.cluster import MiniHBaseCluster
 from repro.hbase.config import TPCC_HOMOGENEOUS
 from repro.simulation.cluster import ClusterSimulator
+from repro.workloads.tenant import TenantWorkload, as_tenant
 from repro.workloads.tpcc.driver import (
     TPCCDriver,
     build_tpcc_scenario,
+    ops_rate_from_tpmc,
     simulator_binding,
+    tpmc_from_ops,
     tpmc_from_ops_rate,
 )
 from repro.workloads.tpcc.loader import TPCCLoader
 from repro.workloads.tpcc.schema import TPCC_TABLES, TPCCConfig, warehouse_key
+from repro.workloads.tpcc.tenant import TPCCTenant
+from repro.workloads.ycsb.tenant import YCSBTenant
 from repro.workloads.tpcc.transactions import (
     TRANSACTION_MIX,
     aggregate_operation_mix,
@@ -219,6 +224,23 @@ class TestTPCCTransactions:
         ops_rate = operations_per_transaction() * 100.0  # 100 tx/s
         assert tpmc_from_ops_rate(ops_rate) == pytest.approx(100 * 0.45 * 60)
 
+    def test_aggregate_mix_weights_footprints_by_transaction_frequency(self):
+        """The aggregate mix is the weight-scaled footprint ratio, normalised."""
+        mix = aggregate_operation_mix()
+        reads = sum(p.weight * p.reads for p in TRANSACTION_MIX.values())
+        total = sum(p.weight * p.operations for p in TRANSACTION_MIX.values())
+        assert mix["read"] == pytest.approx(reads / total)
+        assert set(mix) == {"read", "update", "scan"}
+        assert all(share > 0 for share in mix.values())
+
+    def test_tpmc_round_trip(self):
+        """ops -> tpmC -> ops is the identity (and the alias is the same fn)."""
+        for ops_rate in (1.0, 537.5, 2400.0, 100_000.0):
+            assert ops_rate_from_tpmc(tpmc_from_ops_rate(ops_rate)) == pytest.approx(ops_rate)
+        tpmc = 1234.5
+        assert tpmc_from_ops_rate(ops_rate_from_tpmc(tpmc)) == pytest.approx(tpmc)
+        assert tpmc_from_ops is tpmc_from_ops_rate
+
 
 class TestTPCCFunctional:
     @pytest.fixture(scope="class")
@@ -264,3 +286,80 @@ class TestTPCCSimulatorBinding:
         assert "tpcc" in simulator.bindings
         simulator.run(30.0)
         assert simulator.binding_throughput("tpcc") > 0
+
+    def test_named_binding_namespaces_partitions_and_caps(self):
+        config = TPCCConfig(warehouses=4, warehouses_per_node=2, clients=10)
+        binding = simulator_binding(config, name="orders", target_ops_per_second=500.0)
+        assert binding.name == "orders"
+        assert all(r.startswith("orders:wpart-") for r in binding.region_weights)
+        assert sum(binding.region_weights.values()) == pytest.approx(1.0)
+        assert binding.target_ops_per_second == 500.0
+
+
+class TestTenantProtocol:
+    def test_ycsb_workload_coerces_to_adapter(self):
+        tenant = as_tenant(CORE_WORKLOADS["A"])
+        assert isinstance(tenant, YCSBTenant)
+        assert tenant.name == "A"
+        assert tenant.binding_name == "workload-A"
+        assert tenant.unit_label == "ops/s"
+        assert tenant.supports_mix_shift
+        # Idempotent: an adapter passes through unchanged.
+        assert as_tenant(tenant) is tenant
+
+    def test_rejects_foreign_objects(self):
+        with pytest.raises(TypeError, match="scenario tenant"):
+            as_tenant(object())
+
+    def test_ycsb_adapter_matches_workload_semantics(self):
+        workload = CORE_WORKLOADS["A"]
+        tenant = YCSBTenant(workload)
+        assert tenant.nominal_ops_per_second == workload.nominal_ops_per_second
+        assert tenant.op_mix == workload.op_mix
+        specs = tenant.region_specs()
+        assert [s.region_id for s in specs] == workload.partition_ids()
+        assert sum(s.weight for s in specs) == pytest.approx(1.0)
+        capped = tenant.with_target(1234.0)
+        assert capped.target_ops_per_second == 1234.0
+        assert capped.binding().target_ops_per_second == 1234.0
+        # Unchanged target returns the same adapter (specs stay cheap).
+        assert tenant.with_target(workload.target_ops_per_second) is tenant
+
+    def test_tpcc_tenant_implements_protocol(self):
+        config = TPCCConfig(warehouses=8, warehouses_per_node=2, clients=20, scale_factor=0.05)
+        tenant = TPCCTenant(name="tpcc", config=config)
+        assert isinstance(tenant, TenantWorkload)
+        assert tenant.binding_name == "tpcc"
+        assert tenant.unit_label == "tpmC"
+        assert not tenant.supports_mix_shift
+        specs = tenant.region_specs()
+        assert len(specs) == config.partitions
+        assert sum(s.weight for s in specs) == pytest.approx(1.0)
+        assert all(s.region_id.startswith("tpcc:wpart-") for s in specs)
+        # Warehouse-aligned partitions split the database evenly.
+        assert sum(s.size_bytes for s in specs) == pytest.approx(config.database_bytes())
+
+    def test_tpcc_tenant_rates_in_both_units(self):
+        tenant = TPCCTenant(target_ops=2024.0)
+        assert tenant.nominal_ops_per_second == 2024.0  # capped by target
+        assert tenant.native_rate(2024.0) == pytest.approx(tpmc_from_ops_rate(2024.0))
+        assert tenant.nominal_tpmc == pytest.approx(tpmc_from_ops_rate(2024.0))
+        uncapped = tenant.with_target(None)
+        assert uncapped.nominal_ops_per_second > 2024.0
+
+    def test_tpcc_partition_workloads_are_write_heavy(self):
+        tenant = TPCCTenant(target_ops=2000.0)
+        expected = tenant.partition_workloads(window_seconds=60.0)
+        assert len(expected) == tenant.config.partitions
+        total = sum(p.total_requests for p in expected)
+        assert total == pytest.approx(2000.0 * 60.0)
+        assert all(p.writes > p.reads for p in expected)
+
+    def test_two_tpcc_tenants_coexist(self):
+        config = TPCCConfig(warehouses=4, warehouses_per_node=2, clients=5, scale_factor=0.02)
+        first = TPCCTenant(name="tpcc-eu", config=config)
+        second = TPCCTenant(name="tpcc-us", config=config)
+        ids = {s.region_id for s in first.region_specs()} | {
+            s.region_id for s in second.region_specs()
+        }
+        assert len(ids) == 2 * config.partitions  # no partition-id collisions
