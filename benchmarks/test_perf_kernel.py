@@ -26,6 +26,16 @@ pytestmark = pytest.mark.tier2
 #: Acceptance criterion of the kernel-perf PR; measured speedups are ~6-7x,
 #: so 5x leaves headroom for noisy CI machines.
 REQUIRED_SPEEDUP = 5.0
+#: Acceptance criterion of the event-kernel PR: effective ticks/sec on a
+#: steady-state-dominated scenario must beat the fast kernel ≥5x.  Measured
+#: gains are two orders of magnitude (BENCH_kernel.json), so 5x is a
+#: regression tripwire, not a stretch goal.
+REQUIRED_EVENT_SPEEDUP = 5.0
+#: Effective ticks/sec floor for the event kernel at the xlarge scale
+#: (200 nodes / 2000 regions / 12 tenants).  Measured ~1280/s; the floor
+#: leaves ~6x headroom for noisy CI machines while still catching a
+#: fast-forwarding regression (the fast kernel manages only ~21/s).
+XLARGE_EVENT_TICKS_PER_SEC_FLOOR = 200.0
 
 
 def test_fast_kernel_5x_on_large_scenario():
@@ -35,6 +45,29 @@ def test_fast_kernel_5x_on_large_scenario():
         f"fast kernel is only {result.speedup:.1f}x the reference "
         f"({result.fast_ticks_per_sec:.1f} vs {result.reference_ticks_per_sec:.1f} ticks/s)"
     )
+
+
+def test_event_kernel_5x_over_fast_on_steady_large_scenario():
+    result = run_scale("large", reference_ticks=0, fast_ticks=60, event_ticks=600)
+    assert result.steady_fraction > 0.9, (
+        f"steady scenario did not fast-forward: only "
+        f"{result.steady_fraction:.0%} of ticks were solve-free"
+    )
+    assert result.event_speedup >= REQUIRED_EVENT_SPEEDUP, (
+        f"event kernel is only {result.event_speedup:.1f}x the fast kernel "
+        f"({result.event_ticks_per_sec:.1f} vs "
+        f"{result.fast_steady_ticks_per_sec:.1f} effective ticks/s)"
+    )
+
+
+def test_xlarge_scale_is_routine_on_event_kernel():
+    result = run_scale("xlarge", reference_ticks=0, fast_ticks=30, event_ticks=600)
+    assert result.nodes == 200 and result.regions == 2000 and result.tenants == 12
+    assert result.event_ticks_per_sec >= XLARGE_EVENT_TICKS_PER_SEC_FLOOR, (
+        f"xlarge effective rate fell to {result.event_ticks_per_sec:.1f} ticks/s "
+        f"(floor {XLARGE_EVENT_TICKS_PER_SEC_FLOOR:.0f})"
+    )
+    assert result.event_speedup >= REQUIRED_EVENT_SPEEDUP
 
 
 @pytest.mark.parametrize("scale", sorted(SCALES))

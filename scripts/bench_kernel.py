@@ -1,13 +1,19 @@
 #!/usr/bin/env python
-"""Benchmark the simulation kernel: fast vs reference (seed) ticks/sec.
+"""Benchmark the simulation kernels: reference vs fast vs event ticks/sec.
 
-Runs the deterministic synthetic scenario at small/medium/large scales with
-both kernels and writes ``BENCH_kernel.json`` at the repo root so the perf
-trajectory is tracked PR over PR.
+Runs the deterministic synthetic scenario at small/medium/large/xlarge
+scales and writes ``BENCH_kernel.json`` at the repo root so the perf
+trajectory is tracked PR over PR.  The reference and fast kernels are timed
+tick-by-tick on the mixed scenario; the event kernel is timed on the
+insert-free steady scenario through ``ClusterSimulator.run`` so its
+fast-forwarded macro-ticks count (*effective* ticks/sec), alongside the
+fraction of ticks it covered without a real solve.
 
 Usage::
 
     PYTHONPATH=src python scripts/bench_kernel.py [--scale large] [--output PATH]
+    PYTHONPATH=src python scripts/bench_kernel.py --smoke   # CI signal: one
+        short small-scale run, printed only, no floor and no JSON rewrite
 """
 
 from __future__ import annotations
@@ -45,36 +51,70 @@ def main(argv: list[str] | None = None) -> int:
         help="timed ticks for the fast kernel (default: 100)",
     )
     parser.add_argument(
+        "--event-ticks",
+        type=int,
+        default=600,
+        help="simulated ticks covered by the event kernel run (default: 600)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast CI mode: small scale only, short runs, print only "
+        "(BENCH_kernel.json is left untouched unless --output is given)",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
-        default=REPO_ROOT / "BENCH_kernel.json",
-        help="where to write the JSON report (default: BENCH_kernel.json)",
+        default=None,
+        help="where to write the JSON report (default: BENCH_kernel.json; "
+        "omitted entirely in --smoke mode)",
     )
     args = parser.parse_args(argv)
 
+    scales = args.scale
+    reference_ticks = args.reference_ticks
+    fast_ticks = args.fast_ticks
+    event_ticks = args.event_ticks
+    if args.smoke:
+        scales = scales or ["small"]
+        reference_ticks = min(reference_ticks, 5)
+        fast_ticks = min(fast_ticks, 20)
+        event_ticks = min(event_ticks, 120)
+
     results = run_kernel_benchmark(
-        scales=args.scale,
-        reference_ticks=args.reference_ticks,
-        fast_ticks=args.fast_ticks,
+        scales=scales,
+        reference_ticks=reference_ticks,
+        fast_ticks=fast_ticks,
+        event_ticks=event_ticks,
     )
 
-    header = f"{'scale':<8} {'nodes':>5} {'regions':>7} {'tenants':>7} {'ref t/s':>9} {'fast t/s':>9} {'speedup':>8}"
+    header = (
+        f"{'scale':<8} {'nodes':>5} {'regions':>7} {'tenants':>7} "
+        f"{'ref t/s':>9} {'fast t/s':>9} {'event t/s':>10} "
+        f"{'steady%':>8} {'fast-x':>7} {'event-x':>8}"
+    )
     print(header)
     print("-" * len(header))
     for result in results:
         print(
             f"{result.scale:<8} {result.nodes:>5} {result.regions:>7} "
             f"{result.tenants:>7} {result.reference_ticks_per_sec:>9.1f} "
-            f"{result.fast_ticks_per_sec:>9.1f} {result.speedup:>7.1f}x"
+            f"{result.fast_ticks_per_sec:>9.1f} {result.event_ticks_per_sec:>10.1f} "
+            f"{100.0 * result.steady_fraction:>7.1f}% "
+            f"{result.speedup:>6.1f}x {result.event_speedup:>7.1f}x"
         )
 
-    report = {
-        "benchmark": "simulation-kernel-ticks-per-second",
-        "python": platform.python_version(),
-        "scales": {result.scale: result.as_dict() for result in results},
-    }
-    args.output.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"\nwrote {args.output}")
+    output = args.output
+    if output is None and not args.smoke:
+        output = REPO_ROOT / "BENCH_kernel.json"
+    if output is not None:
+        report = {
+            "benchmark": "simulation-kernel-ticks-per-second",
+            "python": platform.python_version(),
+            "scales": {result.scale: result.as_dict() for result in results},
+        }
+        output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\nwrote {output}")
     return 0
 
 

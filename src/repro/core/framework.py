@@ -100,6 +100,22 @@ class MeT:
         )
         return plan
 
+    def next_wakeup(self, now: float) -> float:
+        """Earliest simulated time at which :meth:`step` may do real work.
+
+        ``step(t)`` is a no-op for every ``t`` strictly below the returned
+        time, which lets the event-kernel harness skip the intervening
+        ticks.  While the actuator has an in-flight plan the controller
+        must be stepped every tick (``now``); when disabled and idle it
+        never acts (``inf``); otherwise the next monitor sampling instant
+        bounds the wakeup -- every decision happens on a sampling tick.
+        """
+        if self.actuator.busy:
+            return now
+        if not self.enabled:
+            return float("inf")
+        return self.monitor.next_wakeup(now)
+
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #

@@ -42,6 +42,15 @@ class Monitor:
         self.collector.sample(now)
         self.samples_taken += 1
 
+    def next_wakeup(self, now: float) -> float:
+        """Earliest simulated time at which :meth:`step` does real work.
+
+        ``step(t)`` is a no-op for every ``t`` strictly below the returned
+        time (the collectors only poll when the monitoring period elapsed),
+        so the event-kernel harness may fast-forward across the gap.
+        """
+        return self.collector.next_due(now)
+
     def decision_due(self) -> bool:
         """Whether enough samples accumulated for a Decision Maker round."""
         return self.collector.decision_due()

@@ -111,6 +111,17 @@ class Tiramola(Autoscaler):
                 self._last_action_time = now
                 self.log.record(now, AutoscalerAction.REMOVE_NODE, node=victim, detail="all nodes idle")
 
+    def next_wakeup(self, now: float) -> float:
+        """Earliest simulated time at which :meth:`step` may do real work.
+
+        ``step(t)`` returns immediately unless a metric sample is due, so
+        the next sampling instant bounds how far the event-kernel harness
+        may fast-forward without consulting this controller.
+        """
+        if self._last_sample_time is None:
+            return now
+        return self._last_sample_time + self.policy.monitor_period_seconds - 1e-9
+
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #

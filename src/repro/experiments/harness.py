@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 
 from repro.core.interfaces import ClusterBackend
 from repro.elasticity.strategies import PlacementPlan
-from repro.simulation.cluster import ClusterSimulator
+from repro.simulation.cluster import KERNEL_EVENT, ClusterSimulator
 
 
 @dataclass
@@ -136,6 +136,9 @@ def apply_placement(simulator: ClusterSimulator, plan: PlacementPlan) -> None:
         region = simulator.regions[partition_id]
         region.node = node_name
         region.block_homes = {node_name}
+    # Direct node.config writes above bypass the simulator's mutator hooks;
+    # tell the event kernel its cached fixed point is stale.
+    simulator.invalidate_solution()
 
 
 class ExperimentHarness:
@@ -171,14 +174,43 @@ class ExperimentHarness:
         is given, actions due at or before the current simulated time fire
         *before* each tick, and annotated actions are recorded in
         :attr:`StrategyRun.annotations`.
+
+        On the event kernel (``ClusterSimulator(kernel="event")``), and when
+        every registered controller exposes ``next_wakeup(now)``, quiescent
+        stretches are *fast-forwarded*: ticks that would fire no scheduled
+        action, wake no controller and cross no sampling boundary are
+        covered by one :meth:`ClusterSimulator.macro_tick` instead of being
+        simulated one by one.  The recorded series, samples, annotations
+        and machine-minutes are identical either way -- skipping is bounded
+        so that every tick with observable side effects runs for real.
         """
         simulator = self.simulator
         controllers = self._controllers
         tick_seconds = simulator.clock.tick_seconds
+        # Fast-forward needs every controller to declare when it next acts;
+        # an unknown controller must be stepped every tick, so its presence
+        # disables skipping entirely (conservative default).
+        can_skip = simulator.kernel == KERNEL_EVENT and all(
+            hasattr(controller, "next_wakeup") for controller in controllers
+        )
         remaining = seconds
         while remaining > 1e-9:
             if schedule is not None:
                 self._fire_due(schedule)
+            if can_skip and remaining >= 2.0 * tick_seconds - 1e-9:
+                skip = self._plan_skip(schedule, tick_seconds, remaining)
+                if skip >= 2:
+                    simulator.macro_tick(skip)
+                    now = simulator.clock.now
+                    span = tick_seconds * skip
+                    # Quiescence guarantees no node state transition inside
+                    # the span, so the online count is constant across it.
+                    self._machine_seconds += simulator.online_node_count() * span
+                    if now + 1e-9 >= self._next_sample:
+                        self._sample(now)
+                        self._next_sample = now + self.sample_every_seconds
+                    remaining -= span
+                    continue
             step = tick_seconds if tick_seconds < remaining else remaining
             simulator.tick(step)
             now = simulator.clock.now
@@ -196,6 +228,48 @@ class ExperimentHarness:
             self._fire_due(schedule)
         self._finalise()
         return self.run
+
+    def _plan_skip(self, schedule, tick_seconds: float, remaining: float) -> int:
+        """How many upcoming whole ticks may be fast-forwarded in one batch.
+
+        A batch of ``k`` ticks starting at ``clock.now`` is equivalent to
+        ``k`` loop iterations iff every skipped iteration is observably
+        inert.  Three external bounds apply on top of the simulator's own
+        quiescence check (:meth:`ClusterSimulator.quiescent_ticks`):
+
+        * *schedule*: the batch may end exactly at the next action's time
+          (the action then fires on the following iteration, as it would
+          tick-by-tick), but no skipped pre-tick fire check may be due;
+        * *controllers*: every skipped ``step(t)`` call must satisfy
+          ``t < next_wakeup`` -- i.e. be a guaranteed no-op;
+        * *sampling*: the batch may end exactly on the sampling boundary
+          (the caller runs the sample check after the batch) but must not
+          cross it, so window means see the same series either way.
+        """
+        simulator = self.simulator
+        now = simulator.clock.now
+        dt = tick_seconds
+        budget = int((remaining + 1e-9) // dt)
+        # Inclusive bound: the batch may end AT this time but not beyond.
+        end_bound = self._next_sample
+        if schedule is not None:
+            next_action = schedule.next_time()
+            if next_action is not None and next_action < end_bound:
+                end_bound = next_action
+        k = int((end_bound - now + 1e-9) // dt)
+        if k < budget:
+            budget = k
+        for controller in self._controllers:
+            wake = controller.next_wakeup(now)
+            if wake == float("inf"):
+                continue
+            # Exclusive bound: the batch must end strictly before the wake.
+            k = int((wake - now - 1e-9) // dt)
+            if k < budget:
+                budget = k
+        if budget < 2:
+            return 0
+        return simulator.quiescent_ticks(budget)
 
     def _fire_due(self, schedule) -> None:
         now = self.simulator.clock.now

@@ -126,6 +126,17 @@ class MetricsCollector:
             return True
         return now - self._last_sample_time >= self.period_seconds - 1e-9
 
+    def next_due(self, now: float) -> float:
+        """Earliest time at which :meth:`due` becomes true.
+
+        ``due(t)`` is false for every ``t`` strictly below the returned
+        time, so the harness may skip sampling checks up to (but not
+        including) it.
+        """
+        if self._last_sample_time is None:
+            return now
+        return self._last_sample_time + self.period_seconds - 1e-9
+
     def sample(self, now: float) -> None:
         """Take one sample of every node's system metrics."""
         self._last_sample_time = now

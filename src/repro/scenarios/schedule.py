@@ -65,6 +65,17 @@ class EventSchedule:
             fired.append(action.fire())
         return fired
 
+    def next_time(self) -> float | None:
+        """Scheduled time of the next unfired action (``None`` when drained).
+
+        The experiment harness uses this to bound how far the event kernel
+        may fast-forward: no tick whose pre-tick fire check would have
+        fired an action may be skipped.
+        """
+        if self._cursor < len(self.actions):
+            return self.actions[self._cursor].time_seconds
+        return None
+
     @property
     def pending(self) -> int:
         """Number of actions not fired yet."""

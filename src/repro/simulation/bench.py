@@ -4,6 +4,17 @@ Shared by ``scripts/bench_kernel.py`` (which writes ``BENCH_kernel.json``)
 and the tier-2 ``benchmarks/test_perf_kernel.py`` gate.  The synthetic
 scenario is deterministic -- no RNG -- so the fast and reference kernels can
 be timed on byte-identical inputs and compared for numerical equivalence.
+
+Two scenario flavours exist per scale:
+
+* the *mixed* scenario (default) cycles every tenant mix, including the
+  insert-bearing ones, so all cost-model paths are exercised -- this is the
+  input for the reference-vs-fast comparison;
+* the *steady* scenario (``steady=True``) swaps inserts for updates (same
+  write-cost path, no data growth), making the workload quiescent after the
+  initial fixed-point settles -- this is the input for the event kernel's
+  effective ticks/sec, where the win comes from fast-forwarding whole
+  stretches rather than from a cheaper per-tick solve.
 """
 
 from __future__ import annotations
@@ -27,17 +38,43 @@ TENANT_MIXES: list[dict[str, float]] = [
     {"update": 0.6, "insert": 0.4},
 ]
 
-#: Benchmark scales: name -> (nodes, regions, tenants).
+#: Benchmark scales: name -> (nodes, regions, tenants).  ``xlarge`` was
+#: infeasible before the event kernel (sub-second effective throughput on
+#: the reference kernel) and is routine with it.
 SCALES: dict[str, tuple[int, int, int]] = {
     "small": (10, 100, 4),
     "medium": (25, 250, 6),
     "large": (50, 500, 8),
+    "xlarge": (200, 2000, 12),
 }
+
+
+def _steady_mix(mix: dict[str, float]) -> dict[str, float]:
+    """Insert-free variant of a tenant mix: inserts become updates.
+
+    Inserts grow region sizes every tick, which drifts hit ratios and is
+    therefore a permanent dirty flag for the event kernel's solution reuse.
+    Swapping them for updates keeps the write cost path hot while making a
+    steady scenario genuinely quiescent.
+    """
+    steady = dict(mix)
+    inserts = steady.pop("insert", 0.0)
+    if inserts:
+        steady["update"] = steady.get("update", 0.0) + inserts
+    return steady
 
 
 @dataclass
 class KernelBenchResult:
-    """Ticks/sec of both kernels at one scale."""
+    """Ticks/sec of the kernels at one scale.
+
+    ``reference``/``fast`` are timed tick-by-tick on the mixed scenario;
+    ``fast_steady``/``event`` are timed on the steady scenario driven
+    through :meth:`ClusterSimulator.run`, so the event figure is *effective*
+    ticks/sec -- simulated ticks covered per wall-clock second, including
+    the fast-forwarded ones.  ``steady_fraction`` is the fraction of the
+    event kernel's ticks that needed no real fixed-point solve.
+    """
 
     scale: str
     nodes: int
@@ -45,12 +82,22 @@ class KernelBenchResult:
     tenants: int
     reference_ticks_per_sec: float
     fast_ticks_per_sec: float
+    fast_steady_ticks_per_sec: float = 0.0
+    event_ticks_per_sec: float = 0.0
+    steady_fraction: float = 0.0
 
     @property
     def speedup(self) -> float:
         if self.reference_ticks_per_sec <= 0:
             return 0.0
         return self.fast_ticks_per_sec / self.reference_ticks_per_sec
+
+    @property
+    def event_speedup(self) -> float:
+        """Event-kernel gain over the fast kernel on the steady scenario."""
+        if self.fast_steady_ticks_per_sec <= 0:
+            return 0.0
+        return self.event_ticks_per_sec / self.fast_steady_ticks_per_sec
 
     def as_dict(self) -> dict:
         return {
@@ -60,14 +107,22 @@ class KernelBenchResult:
             "tenants": self.tenants,
             "reference_ticks_per_sec": round(self.reference_ticks_per_sec, 3),
             "fast_ticks_per_sec": round(self.fast_ticks_per_sec, 3),
+            "fast_steady_ticks_per_sec": round(self.fast_steady_ticks_per_sec, 3),
+            "event_ticks_per_sec": round(self.event_ticks_per_sec, 3),
+            "steady_fraction": round(self.steady_fraction, 4),
             "speedup": round(self.speedup, 2),
+            "event_speedup": round(self.event_speedup, 2),
         }
 
 
 def build_synthetic_cluster(
-    nodes: int, regions: int, tenants: int, kernel: str
+    nodes: int, regions: int, tenants: int, kernel: str, steady: bool = False
 ) -> ClusterSimulator:
-    """Deterministic multi-tenant cluster: regions round-robin and local."""
+    """Deterministic multi-tenant cluster: regions round-robin and local.
+
+    ``steady=True`` builds the insert-free variant (see :func:`_steady_mix`)
+    used for the event kernel's steady-state measurements.
+    """
     if nodes <= 0 or tenants <= 0 or regions < tenants:
         raise ValueError(
             f"need nodes > 0 and regions >= tenants > 0, got "
@@ -79,6 +134,8 @@ def build_synthetic_cluster(
     created = 0
     for tenant in range(tenants):
         mix = TENANT_MIXES[tenant % len(TENANT_MIXES)]
+        if steady:
+            mix = _steady_mix(mix)
         count = per_tenant if tenant < tenants - 1 else regions - created
         region_ids = []
         for index in range(count):
@@ -122,17 +179,58 @@ def measure_ticks_per_second(
     return ticks / elapsed if elapsed > 0 else float("inf")
 
 
+def measure_effective_ticks_per_second(
+    sim: ClusterSimulator, ticks: int, warmup_ticks: int = 10
+) -> tuple[float, float]:
+    """Effective ticks/sec of a :meth:`ClusterSimulator.run`-driven stretch.
+
+    The warmup lets the closed-loop fixed point settle (the event kernel
+    needs a tick-stable solve before it may reuse or fast-forward), then
+    ``ticks`` ticks' worth of simulated time is covered through ``run`` --
+    macro-ticks included -- and divided by wall-clock time.  Returns
+    ``(ticks_per_sec, steady_fraction)``; the fraction comes from
+    :class:`~repro.simulation.events.KernelStats` over the timed window
+    (0.0 on kernels that solve every tick).
+    """
+    dt = sim.clock.tick_seconds
+    sim.run(warmup_ticks * dt)
+    sim.stats.reset()
+    start = time.perf_counter()
+    sim.run(ticks * dt)
+    elapsed = time.perf_counter() - start
+    covered = sim.stats.ticks
+    tps = covered / elapsed if elapsed > 0 else float("inf")
+    return tps, sim.stats.steady_fraction
+
+
 def run_scale(
     scale: str,
     reference_ticks: int = 20,
     fast_ticks: int = 100,
+    event_ticks: int = 600,
 ) -> KernelBenchResult:
-    """Benchmark both kernels at a named scale."""
+    """Benchmark every kernel at a named scale.
+
+    ``reference_ticks=0`` skips the (slow) reference kernel -- the tier-2
+    xlarge floor only gates the fast and event kernels.
+    """
     nodes, regions, tenants = SCALES[scale]
-    reference = build_synthetic_cluster(nodes, regions, tenants, kernel="reference")
+    reference_tps = 0.0
+    if reference_ticks > 0:
+        reference = build_synthetic_cluster(nodes, regions, tenants, kernel="reference")
+        reference_tps = measure_ticks_per_second(reference, reference_ticks)
     fast = build_synthetic_cluster(nodes, regions, tenants, kernel="fast")
-    reference_tps = measure_ticks_per_second(reference, reference_ticks)
     fast_tps = measure_ticks_per_second(fast, fast_ticks)
+    fast_steady = build_synthetic_cluster(
+        nodes, regions, tenants, kernel="fast", steady=True
+    )
+    fast_steady_tps, _ = measure_effective_ticks_per_second(
+        fast_steady, min(fast_ticks, 60)
+    )
+    event = build_synthetic_cluster(
+        nodes, regions, tenants, kernel="event", steady=True
+    )
+    event_tps, steady_fraction = measure_effective_ticks_per_second(event, event_ticks)
     return KernelBenchResult(
         scale=scale,
         nodes=nodes,
@@ -140,6 +238,9 @@ def run_scale(
         tenants=tenants,
         reference_ticks_per_sec=reference_tps,
         fast_ticks_per_sec=fast_tps,
+        fast_steady_ticks_per_sec=fast_steady_tps,
+        event_ticks_per_sec=event_tps,
+        steady_fraction=steady_fraction,
     )
 
 
@@ -147,9 +248,15 @@ def run_kernel_benchmark(
     scales: list[str] | None = None,
     reference_ticks: int = 20,
     fast_ticks: int = 100,
+    event_ticks: int = 600,
 ) -> list[KernelBenchResult]:
     """Benchmark every requested scale (defaults to all)."""
     return [
-        run_scale(scale, reference_ticks=reference_ticks, fast_ticks=fast_ticks)
+        run_scale(
+            scale,
+            reference_ticks=reference_ticks,
+            fast_ticks=fast_ticks,
+            event_ticks=event_ticks,
+        )
         for scale in (scales or list(SCALES))
     ]

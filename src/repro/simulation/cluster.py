@@ -14,7 +14,8 @@ framework, the tiramola baseline and the manual strategies need:
 * actions -- add/remove nodes (with IaaS-like boot delays), reconfigure a
   node (drain + restart), move regions, trigger major compactions.
 
-Two kernels solve the per-tick closed-loop fixed point:
+Three kernels solve the per-tick closed-loop fixed point (implemented as
+solver strategies in :mod:`repro.simulation.solvers`):
 
 * ``kernel="fast"`` (the default) keeps an incremental ``node -> regions``
   index, reuses :class:`~repro.simulation.perfmodel.RegionLoadProfile`
@@ -26,7 +27,13 @@ Two kernels solve the per-tick closed-loop fixed point:
 * ``kernel="reference"`` preserves the original seed behaviour -- full
   region scans, fresh allocations and a fixed iteration count -- and exists
   as the baseline for ``scripts/bench_kernel.py`` and the kernel
-  equivalence regression test.
+  equivalence regression test;
+* ``kernel="event"`` builds on the fast kernel: a tick-stable, insert-free
+  fixed point is *reused* across ticks until any mutation dirties it, an
+  internal :class:`~repro.simulation.events.EventLoop` bounds how far a
+  quiescent stretch may be fast-forwarded in one macro-tick, and real
+  solves run through a vectorised (numpy) per-region hot loop at scale.
+  Opt-in because fast remains the golden-trace kernel.
 """
 
 from __future__ import annotations
@@ -34,18 +41,26 @@ from __future__ import annotations
 import itertools
 import random
 from dataclasses import dataclass, field
-from operator import attrgetter
 
 from repro.hbase.config import DEFAULT_HOMOGENEOUS, RegionServerConfig
 from repro.util.rng import make_rng
 from repro.simulation.clock import SimulationClock
+from repro.simulation.events import (
+    EVENT_COMPACTION_DONE,
+    EVENT_NODE_ONLINE,
+    EventLoop,
+    KernelStats,
+    SimulationEvent,
+)
 from repro.simulation.hardware import MB, HardwareSpec
 from repro.simulation.metrics import MetricsRegistry
-from repro.simulation.perfmodel import (
-    OP_TYPES,
-    NodeEvaluator,
-    PerformanceModel,
-    RegionLoadProfile,
+from repro.simulation.perfmodel import PerformanceModel
+from repro.simulation.solvers import (
+    KERNEL_EVENT,
+    KERNEL_FAST,
+    KERNEL_REFERENCE,
+    KERNELS,
+    make_solver,
 )
 from repro.simulation.workload import WorkloadBinding
 
@@ -65,10 +80,6 @@ STATE_BOOTING = "booting"
 STATE_RESTARTING = "restarting"
 STATE_OFFLINE = "offline"
 
-#: Kernel implementations (see module docstring).
-KERNEL_FAST = "fast"
-KERNEL_REFERENCE = "reference"
-
 #: Default relative tolerance at which the adaptive fixed point stops
 #: iterating; tight enough that fast and reference kernels agree to well
 #: within 1e-6 relative on per-binding throughput series.
@@ -76,12 +87,11 @@ DEFAULT_FIXED_POINT_TOLERANCE = 1e-8
 #: Iteration cap of the fixed-point solver (the seed always ran this many).
 DEFAULT_FIXED_POINT_ITERATIONS = 10
 
-_REGION_SEQ = attrgetter("_seq")
-
-#: Operation name -> slot in the fast kernel's 5-float rate rows.
-_OP_SLOT = {op: slot for slot, op in enumerate(OP_TYPES)}
-#: Zero template for resetting rate rows via slice assignment.
-_ZERO_RATES = (0.0, 0.0, 0.0, 0.0, 0.0)
+#: Safety margin (ticks) by which compaction-completion events are
+#: scheduled early: the ticks between the event and the actual completion
+#: are simulated for real (cheap -- the cached solution is still reused),
+#: which keeps macro-tick spans strictly clear of the completion tick.
+_COMPACTION_EVENT_MARGIN_TICKS = 2.0
 
 
 class SimulationError(RuntimeError):
@@ -120,6 +130,13 @@ class SimulatedRegion:
                 owner._reindex_region(self, old, value)
             return
         object.__setattr__(self, name, value)
+        if name == "block_homes":
+            # Replacing the block-home set changes locality, which the event
+            # kernel's cached solution depends on (compaction completions and
+            # placement plans assign it directly).
+            owner = getattr(self, "_owner", None)
+            if owner is not None:
+                owner._mark_structure()
 
     @property
     def locality(self) -> float:
@@ -171,8 +188,9 @@ class ClusterSimulator:
         fixed_point_tolerance: float = DEFAULT_FIXED_POINT_TOLERANCE,
         fixed_point_max_iterations: int = DEFAULT_FIXED_POINT_ITERATIONS,
         seed: int | random.Random = 0,
+        vectorize: bool | None = None,
     ) -> None:
-        if kernel not in (KERNEL_FAST, KERNEL_REFERENCE):
+        if kernel not in KERNELS:
             raise SimulationError(f"unknown kernel {kernel!r}")
         #: The run's randomness stream.  The simulator itself is fully
         #: deterministic; this generator is what scenario components
@@ -202,10 +220,6 @@ class ClusterSimulator:
         #: holds unassigned regions); kept coherent by SimulatedRegion's
         #: ``node`` setter hook.
         self._regions_by_node: dict[str | None, dict[str, SimulatedRegion]] = {}
-        #: Per-node memo of (key, NodeEvaluator); the key is (config,
-        #: hardware, assignment version) so config/assignment changes
-        #: invalidate explicitly while size/locality drift is refreshed.
-        self._node_evaluators: dict[str, tuple[object, NodeEvaluator]] = {}
         #: Per-node counters bumped whenever a region enters/leaves a node.
         self._assignment_versions: dict[str | None, int] = {}
         #: Per-node (version, creation-ordered regions) cache for regions_on.
@@ -214,10 +228,19 @@ class ClusterSimulator:
         self._rated_regions: list[SimulatedRegion] = []
         #: Bumped on attach/detach; invalidates the cached rate context.
         self._workloads_version = 0
-        self._rate_context_cache: tuple[int, dict, list] | None = None
+        #: Bumped on any topology/config/hardware/assignment/locality change;
+        #: together with the workload version it forms the signature the
+        #: event kernel's cached solution and vector context are keyed on.
+        self._structure_version = 0
         #: Pre-fault hardware of degraded nodes (see degrade_node).
         self._base_hardware: dict[str, HardwareSpec] = {}
         self.total_ops = 0.0
+        #: Internal event queue bounding event-kernel fast-forwards (boot /
+        #: restart / compaction completions).  Unused by the other kernels.
+        self.events = EventLoop()
+        #: Tick/solve/skip counters (benchmark + regression instrumentation).
+        self.stats = KernelStats()
+        self._solver = make_solver(kernel, self, vectorize=vectorize)
 
     # ------------------------------------------------------------------ #
     # topology management
@@ -245,6 +268,11 @@ class ClusterSimulator:
             node.state = STATE_BOOTING
             node.state_until = self.clock.now + self.boot_seconds
         self.nodes[name] = node
+        self._mark_structure()
+        if self.kernel == KERNEL_EVENT and not online:
+            self.events.schedule(
+                node.state_until, EVENT_NODE_ONLINE, (name, node.state_until)
+            )
         return name
 
     def remove_node(self, name: str, reassign: bool = True) -> None:
@@ -253,8 +281,9 @@ class ClusterSimulator:
         hosted = self.regions_on(name)
         del self.nodes[node.name]
         self.metrics.drop_entity(name)
-        self._node_evaluators.pop(name, None)
+        self._solver.forget_node(name)
         self._base_hardware.pop(name, None)
+        self._mark_structure()
         if not reassign:
             for region in hosted:
                 region.node = None
@@ -308,6 +337,7 @@ class ClusterSimulator:
         self._regions_by_node.setdefault(node, {})[region_id] = region
         self._assignment_versions[node] = self._assignment_versions.get(node, 0) + 1
         region._owner = self
+        self._mark_structure()
         return region
 
     def move_region(self, region_id: str, node_name: str) -> None:
@@ -347,6 +377,11 @@ class ClusterSimulator:
             node.profile_name = profile_name
         node.state = STATE_RESTARTING
         node.state_until = self.clock.now + self.restart_seconds
+        self._mark_structure()
+        if self.kernel == KERNEL_EVENT:
+            self.events.schedule(
+                node.state_until, EVENT_NODE_ONLINE, (name, node.state_until)
+            )
         return drained
 
     def major_compact(self, name: str) -> float:
@@ -363,6 +398,8 @@ class ClusterSimulator:
             if region.locality < 1.0
         )
         node.pending_compaction_bytes += bytes_to_rewrite
+        self._mark_dirty()
+        self._schedule_compaction_event(node)
         return bytes_to_rewrite
 
     # ------------------------------------------------------------------ #
@@ -424,6 +461,10 @@ class ClusterSimulator:
             memory_bytes=base.memory_bytes,
             heap_bytes=base.heap_bytes,
         )
+        self._mark_structure()
+        # A changed disk budget changes the compaction drain rate; schedule a
+        # fresh conservative completion event (stale ones are harmless).
+        self._schedule_compaction_event(node)
 
     def base_hardware(self, name: str) -> HardwareSpec | None:
         """A node's pre-degradation hardware (its current spec if healthy).
@@ -447,6 +488,8 @@ class ClusterSimulator:
         node = self.nodes.get(name)
         if node is not None and base is not None:
             node.hardware = base
+            self._mark_structure()
+            self._schedule_compaction_event(node)
 
     # ------------------------------------------------------------------ #
     # workload management
@@ -457,6 +500,7 @@ class ClusterSimulator:
             self._region(region_id)
         self.bindings[binding.name] = binding
         self._workloads_version += 1
+        self._mark_dirty()
 
     def detach_workload(self, name: str) -> None:
         """Remove a client population (e.g. a tenant leaving)."""
@@ -467,12 +511,16 @@ class ClusterSimulator:
         self._binding_throughput.pop(name, None)
         self._binding_latency_ms.pop(name, None)
         self._workloads_version += 1
+        self._mark_dirty()
 
     def set_workload_active(self, name: str, active: bool) -> None:
         """Activate or deactivate a tenant without removing it."""
         if name not in self.bindings:
             raise SimulationError(f"unknown workload {name!r}")
         self.bindings[name].active = active
+        # ``active`` is consulted live by max_throughput -- no version bump,
+        # but any cached event-kernel solution is now wrong.
+        self._mark_dirty()
 
     def update_workload(
         self,
@@ -508,10 +556,15 @@ class ClusterSimulator:
             raise
         if op_mix is not None:
             self.notify_workload_changed()
+        else:
+            # Target/thread changes are consulted live but still invalidate
+            # any cached event-kernel solution.
+            self._mark_dirty()
 
     def notify_workload_changed(self) -> None:
         """Invalidate caches derived from binding mixes/weights."""
         self._workloads_version += 1
+        self._mark_dirty()
 
     # ------------------------------------------------------------------ #
     # queries used by controllers and experiments
@@ -528,22 +581,10 @@ class ClusterSimulator:
         """Regions currently assigned to ``node_name``.
 
         Returned in global region-creation order (the order the seed's full
-        scan produced).  The fast kernel answers from the incremental index;
-        the reference kernel keeps the seed's O(regions) scan.
+        scan produced).  The fast/event kernels answer from the incremental
+        index; the reference kernel keeps the seed's O(regions) scan.
         """
-        if self.kernel == KERNEL_REFERENCE:
-            return [r for r in self.regions.values() if r.node == node_name]
-        bucket = self._regions_by_node.get(node_name)
-        if not bucket:
-            return []
-        # The sorted order only changes when the bucket's membership does,
-        # which is exactly when the assignment version is bumped.
-        version = self._assignment_versions.get(node_name, 0)
-        cached = self._sorted_regions_cache.get(node_name)
-        if cached is None or cached[0] != version:
-            cached = (version, sorted(bucket.values(), key=_REGION_SEQ))
-            self._sorted_regions_cache[node_name] = cached
-        return list(cached[1])
+        return self._solver.regions_on(node_name)
 
     def node_locality_index(self, node_name: str) -> float:
         """Size-weighted locality of the regions hosted by a node."""
@@ -575,10 +616,24 @@ class ClusterSimulator:
     # simulation loop
     # ------------------------------------------------------------------ #
     def run(self, seconds: float) -> None:
-        """Advance the simulation by ``seconds`` in whole ticks."""
+        """Advance the simulation by ``seconds`` in whole ticks.
+
+        The event kernel fast-forwards quiescent stretches in macro-ticks
+        (bounded by :meth:`quiescent_ticks`); the other kernels -- and any
+        trailing partial tick -- advance tick by tick.
+        """
         remaining = seconds
+        dt = self.clock.tick_seconds
+        event_kernel = self.kernel == KERNEL_EVENT
         while remaining > 1e-9:
-            step = min(self.clock.tick_seconds, remaining)
+            if event_kernel and remaining >= 2.0 * dt - 1e-9:
+                budget = int((remaining + 1e-9) // dt)
+                skip = self.quiescent_ticks(budget)
+                if skip >= 2:
+                    self.macro_tick(skip)
+                    remaining -= skip * dt
+                    continue
+            step = min(dt, remaining)
             self.tick(step)
             remaining -= step
 
@@ -587,11 +642,158 @@ class ClusterSimulator:
         dt = seconds if seconds is not None else self.clock.tick_seconds
         self._advance_node_states()
         compaction_bg = self._progress_compactions(dt)
-        throughputs, node_results, region_rates, latencies = self._solve_fixed_point(
-            compaction_bg
-        )
+        stats = self.stats
+        stats.ticks += 1
+        results = self._solver.reuse(compaction_bg)
+        if results is None:
+            results = self._solver.solve(compaction_bg)
+            stats.solves += 1
+        else:
+            stats.reused_ticks += 1
+        throughputs, node_results, region_rates, latencies = results
         self._apply_tick_results(dt, throughputs, node_results, region_rates, latencies)
         self.clock.advance(dt)
+
+    # ------------------------------------------------------------------ #
+    # event kernel: quiescence detection and fast-forward
+    # ------------------------------------------------------------------ #
+    def steady_horizon(self) -> float:
+        """Earliest simulated time at which a tick could differ from the
+        cached fixed point.
+
+        Returns ``clock.now`` when the next tick must be simulated for real
+        (no reusable solution, or a live event is already due), the earliest
+        live event / lifecycle deadline when one lies ahead, and ``inf``
+        when nothing internal bounds a fast-forward.  Callers combine this
+        with their own bounds (scenario schedules, controller wake-ups,
+        sampling cadences) before skipping.
+        """
+        now = self.clock.now
+        if self.kernel != KERNEL_EVENT or not self._solver.reuse_ready():
+            return now
+        horizon = self.events.horizon(now, self._event_stale)
+        if horizon <= now:
+            return now
+        # Belt and braces: node lifecycle deadlines bound the horizon even
+        # if a state was mutated without going through a scheduling mutator.
+        for node in self.nodes.values():
+            if node.state in (STATE_BOOTING, STATE_RESTARTING):
+                until = node.state_until
+                if until <= now:
+                    return now
+                if until < horizon:
+                    horizon = until
+        return horizon
+
+    def quiescent_ticks(self, max_ticks: int) -> int:
+        """Number of immediately-upcoming ticks that can be fast-forwarded.
+
+        0 unless the event kernel has a reusable solution covering at least
+        the next two ticks.  Every returned tick starts strictly before the
+        steady horizon, so the first tick at (or after) the horizon is
+        always simulated for real.
+        """
+        if self.kernel != KERNEL_EVENT or max_ticks < 2:
+            return 0
+        now = self.clock.now
+        dt = self.clock.tick_seconds
+        horizon = self.steady_horizon()
+        if horizon <= now + dt:
+            return 0
+        if horizon == float("inf"):
+            return max_ticks
+        ticks = int((horizon - now - 1e-9) // dt) + 1
+        return min(ticks, max_ticks)
+
+    def macro_tick(self, ticks: int) -> None:
+        """Fast-forward ``ticks`` ticks by replaying the cached fixed point.
+
+        Only valid for spans vetted by :meth:`quiescent_ticks`: no node
+        lifecycle transition or compaction completion may fall inside the
+        span.  Metric samples, counters and the clock history advance
+        exactly as ``ticks`` individual ticks would; if the cached solution
+        turns out not to cover the span (background I/O drifted), the span
+        is simulated tick by tick instead.
+        """
+        dt = self.clock.tick_seconds
+        background: dict[str, float] = {}
+        compacting: list[tuple[SimulatedNode, float]] = []
+        for node in self.nodes.values():
+            if node.pending_compaction_bytes <= 0 or not node.online:
+                continue
+            rate = node.hardware.disk_mb_per_second * MB * COMPACTION_DISK_SHARE
+            background[node.name] = rate
+            compacting.append((node, rate))
+        results = self._solver.reuse(background)
+        if results is None:
+            for _ in range(ticks):
+                self.tick(dt)
+            return
+        # No completion can occur in-span (the compaction event's margin
+        # guarantees pending stays positive), so the per-tick decrement
+        # collapses to one multiply.
+        for node, rate in compacting:
+            node.pending_compaction_bytes -= rate * dt * ticks
+        throughputs, node_results, region_rates, latencies = results
+        self._apply_tick_results_batch(
+            dt, ticks, throughputs, node_results, region_rates, latencies
+        )
+        stats = self.stats
+        stats.ticks += ticks
+        stats.skipped_ticks += ticks
+        stats.macro_batches += 1
+        clock = self.clock
+        for _ in range(ticks):
+            clock.advance(dt)
+
+    def invalidate_solution(self) -> None:
+        """Force the event kernel to re-solve on the next tick.
+
+        External code that mutates simulator state directly (placement
+        plans, test fixtures) must call this; the simulator's own mutators
+        do so automatically.
+        """
+        self._mark_structure()
+
+    def _mark_dirty(self) -> None:
+        """A mutation invalidated the cached fixed-point solution."""
+        self._solver.invalidate()
+
+    def _mark_structure(self) -> None:
+        """A mutation changed topology/config/assignment/locality state."""
+        self._structure_version += 1
+        self._solver.invalidate()
+
+    def _event_stale(self, event: SimulationEvent) -> bool:
+        """Whether a queued event no longer refers to live simulator state."""
+        kind = event.kind
+        if kind == EVENT_NODE_ONLINE:
+            name, until = event.payload
+            node = self.nodes.get(name)
+            return (
+                node is None
+                or node.state not in (STATE_BOOTING, STATE_RESTARTING)
+                or node.state_until != until
+            )
+        if kind == EVENT_COMPACTION_DONE:
+            (name,) = event.payload
+            node = self.nodes.get(name)
+            return node is None or node.pending_compaction_bytes <= 0.0
+        return False
+
+    def _schedule_compaction_event(self, node: SimulatedNode) -> None:
+        """Queue a conservative completion marker for a node's compaction."""
+        if self.kernel != KERNEL_EVENT or node.pending_compaction_bytes <= 0:
+            return
+        rate = node.hardware.disk_mb_per_second * MB * COMPACTION_DISK_SHARE
+        eta = (
+            self.clock.now
+            + node.pending_compaction_bytes / rate
+            - _COMPACTION_EVENT_MARGIN_TICKS * self.clock.tick_seconds
+        )
+        self.events.schedule(
+            max(self.clock.now, eta), EVENT_COMPACTION_DONE, (node.name,)
+        )
 
     # ------------------------------------------------------------------ #
     # internals
@@ -624,6 +826,7 @@ class ClusterSimulator:
         versions = self._assignment_versions
         versions[old_node] = versions.get(old_node, 0) + 1
         versions[new_node] = versions.get(new_node, 0) + 1
+        self._mark_structure()
 
     def _hosted_count(self, node_name: str) -> int:
         bucket = self._regions_by_node.get(node_name)
@@ -654,11 +857,15 @@ class ClusterSimulator:
         return counts, candidates
 
     def _advance_node_states(self) -> None:
+        changed = False
         for node in self.nodes.values():
             if node.state in (STATE_BOOTING, STATE_RESTARTING):
                 if self.clock.now >= node.state_until:
                     node.state = STATE_ONLINE
                     node.state_until = 0.0
+                    changed = True
+        if changed:
+            self._mark_structure()
 
     def _progress_compactions(self, dt: float) -> dict[str, float]:
         """Advance compactions; return per-node background disk bytes/s."""
@@ -677,7 +884,7 @@ class ClusterSimulator:
         return background
 
     # ------------------------------------------------------------------ #
-    # fixed-point solver -- shared entry point
+    # fixed-point solver -- delegated to the kernel's strategy
     # ------------------------------------------------------------------ #
     def _solve_fixed_point(
         self, compaction_bg: dict[str, float]
@@ -693,313 +900,10 @@ class ClusterSimulator:
         results, the per-region achieved rates and the per-binding mean
         request latency (ms) at the final state.  Achieved throughput is
         work-conserving: offered load on a node is clamped to the node's
-        capacity (utilisation 1.0).
+        capacity (utilisation 1.0).  The actual implementation lives in the
+        kernel's :class:`~repro.simulation.solvers.SolverStrategy`.
         """
-        if self.kernel == KERNEL_REFERENCE:
-            return self._solve_fixed_point_reference(compaction_bg)
-        return self._solve_fixed_point_fast(compaction_bg)
-
-    # ------------------------------------------------------------------ #
-    # fast kernel
-    # ------------------------------------------------------------------ #
-    def _tick_node_context(self) -> list[tuple[str, NodeEvaluator]]:
-        """Per-online-node memoised evaluators, refreshed for drift.
-
-        The memo is keyed on (config, hardware, assignment version); the
-        version is bumped whenever a region enters or leaves the node, so
-        config or assignment changes rebuild the evaluator while mere
-        size/locality drift is folded in with a cheap ``refresh``.
-        """
-        context = []
-        memo = self._node_evaluators
-        versions = self._assignment_versions
-        for node in self.nodes.values():
-            if not node.online:
-                continue
-            name = node.name
-            key = (node.config, node.hardware, versions.get(name, 0))
-            cached = memo.get(name)
-            hosted = self.regions_on(name)
-            if cached is not None and cached[0] == key:
-                evaluator = cached[1]
-                evaluator.refresh(hosted)
-            else:
-                evaluator = NodeEvaluator(self._model_for(node), node.config, hosted)
-                memo[name] = (key, evaluator)
-            context.append((name, evaluator))
-        return context
-
-    def _tick_rate_context(self):
-        """Slot-indexed offered-rate rows plus per-binding unit rates.
-
-        ``offered_loads(t)`` is linear in ``t``, so the per-region per-op
-        rates implied by a set of binding throughputs are ``t * unit``.
-        Rates live in one 5-slot list per region (``OP_TYPES`` order);
-        the whole structure is cached until a workload is attached or
-        detached, and only the floats change per iteration.
-        """
-        cached = self._rate_context_cache
-        if cached is not None and cached[0] == self._workloads_version:
-            return cached[1], cached[2]
-        rate_rows: dict[str, list[float]] = {}
-        contribs = []
-        op_index = _OP_SLOT
-        for name, binding in self.bindings.items():
-            entries = []
-            for region_id, units in binding.unit_rates():
-                row = rate_rows.get(region_id)
-                if row is None:
-                    row = rate_rows[region_id] = [0.0, 0.0, 0.0, 0.0, 0.0]
-                entries.append(
-                    (
-                        region_id,
-                        row,
-                        [(op, op_index[op], unit) for op, unit in units],
-                    )
-                )
-            contribs.append((name, entries))
-        self._rate_context_cache = (self._workloads_version, rate_rows, contribs)
-        return rate_rows, contribs
-
-    def _solve_fixed_point_fast(
-        self, compaction_bg: dict[str, float]
-    ) -> tuple[
-        dict[str, float],
-        dict[str, object],
-        dict[str, dict[str, float]],
-        dict[str, float],
-    ]:
-        bindings = self.bindings
-        throughputs = {
-            name: self._binding_throughput.get(name, binding.threads * 50.0)
-            for name, binding in bindings.items()
-        }
-        rate_rows, contribs = self._tick_rate_context()
-        node_context = [
-            (
-                name,
-                evaluator,
-                [rate_rows.get(rid) for rid in evaluator.region_ids],
-                compaction_bg.get(name, 0.0),
-            )
-            for name, evaluator in self._tick_node_context()
-        ]
-        # Region -> hosting node is tick-constant; bindings aggregate
-        # latencies per *node* instead of per region.
-        region_node: dict[str, str] = {}
-        for name, evaluator, _, _ in node_context:
-            for region_id in evaluator.region_ids:
-                region_node[region_id] = name
-        binding_terms = {
-            name: (
-                [
-                    (weight, region_node.get(region_id))
-                    for region_id, weight in binding.region_weights.items()
-                ],
-                list(binding.op_mix.items()),
-            )
-            for name, binding in bindings.items()
-        }
-        rate_values = list(rate_rows.values())
-        node_latencies: dict[str, dict[str, float]] = {}
-
-        zeros = _ZERO_RATES
-
-        def fill_rates() -> None:
-            for row in rate_values:
-                row[:] = zeros
-            for name, entries in contribs:
-                throughput = throughputs[name]
-                for _, row, slot_units in entries:
-                    for _, slot, unit in slot_units:
-                        row[slot] += throughput * unit
-
-        def evaluate_latencies() -> None:
-            node_latencies.clear()
-            for name, evaluator, refs, background in node_context:
-                node_latencies[name] = evaluator.latencies(refs, background)
-
-        def binding_latency(terms, mix, latencies_by_node) -> float:
-            # Same math as WorkloadBinding.mean_latency: the per-region
-            # latency dict is the hosting node's, so the per-op mix dot
-            # product is computed once per node and reused per region.
-            cache: dict[str, float] = {}
-            total = 0.0
-            for weight, node_name in terms:
-                if node_name is None:
-                    # Region currently unavailable (node restarting):
-                    # requests block and retry, modelled as a large latency.
-                    total += weight * 500.0
-                    continue
-                mixed = cache.get(node_name)
-                if mixed is None:
-                    latencies = latencies_by_node[node_name]
-                    mixed = 0.0
-                    for op, fraction in mix:
-                        mixed += fraction * latencies.get(op, 1.0)
-                    cache[node_name] = mixed
-                total += weight * mixed
-            return total
-
-        if bindings:
-            tolerance = self.fixed_point_tolerance
-            for _ in range(self.fixed_point_max_iterations):
-                fill_rates()
-                evaluate_latencies()
-                converged = True
-                for name, binding in bindings.items():
-                    terms, mix = binding_terms[name]
-                    latency = binding_latency(terms, mix, node_latencies)
-                    target = binding.max_throughput(latency)
-                    previous = throughputs[name]
-                    updated = 0.5 * previous + 0.5 * target
-                    throughputs[name] = updated
-                    if abs(updated - previous) > tolerance * max(
-                        abs(previous), abs(updated), 1.0
-                    ):
-                        converged = False
-                if converged:
-                    break
-
-        fill_rates()
-        node_results: dict[str, object] = {}
-        node_scale: dict[str, float] = {}
-        for name, evaluator, refs, background in node_context:
-            result = evaluator.evaluate_rates(refs, background)
-            node_results[name] = result
-            node_scale[name] = (
-                1.0 if result.utilization <= 1.0 else 1.0 / result.utilization
-            )
-
-        # Per-binding latency at the *final* state, from the full node
-        # results (same latency dicts the intermediate iterations used).
-        final_latencies = {
-            name: result.per_op_latency_ms for name, result in node_results.items()
-        }
-        binding_latencies = {
-            name: binding_latency(*binding_terms[name], final_latencies)
-            for name in bindings
-        }
-
-        achieved: dict[str, float] = {}
-        region_rates: dict[str, dict[str, float]] = {}
-        for name, entries in contribs:
-            throughput = throughputs[name]
-            total = 0.0
-            for region_id, _, slot_units in entries:
-                scale = node_scale.get(region_node.get(region_id), 0.0)
-                bucket = region_rates.setdefault(region_id, {})
-                load_total = 0.0
-                for op, _, unit in slot_units:
-                    rate = throughput * unit
-                    bucket[op] = bucket.get(op, 0.0) + rate * scale
-                    load_total += rate
-                total += load_total * scale
-            achieved[name] = total
-        return achieved, node_results, region_rates, binding_latencies
-
-    # ------------------------------------------------------------------ #
-    # reference kernel (seed behaviour, used for benchmarks/equivalence)
-    # ------------------------------------------------------------------ #
-    def _region_profiles(
-        self, node: SimulatedNode, offered: dict[str, dict[str, float]]
-    ) -> list[RegionLoadProfile]:
-        profiles: list[RegionLoadProfile] = []
-        for region in self.regions_on(node.name):
-            rates = offered.get(region.region_id, {})
-            profiles.append(
-                RegionLoadProfile(
-                    region_id=region.region_id,
-                    size_bytes=region.size_bytes,
-                    locality=region.locality,
-                    record_size=region.record_size,
-                    scan_length=region.scan_length,
-                    hot_data_fraction=region.hot_data_fraction,
-                    hot_request_fraction=region.hot_request_fraction,
-                    read_rate=rates.get("read", 0.0),
-                    update_rate=rates.get("update", 0.0),
-                    insert_rate=rates.get("insert", 0.0),
-                    scan_rate=rates.get("scan", 0.0),
-                    rmw_rate=rates.get("read_modify_write", 0.0),
-                )
-            )
-        return profiles
-
-    def _offered_rates(self, throughputs: dict[str, float]) -> dict[str, dict[str, float]]:
-        """Per-region offered rates implied by per-binding throughputs."""
-        offered: dict[str, dict[str, float]] = {}
-        for name, binding in self.bindings.items():
-            for load in binding.offered_loads(throughputs.get(name, 0.0)):
-                bucket = offered.setdefault(load.region_id, {})
-                for op, rate in load.rates.items():
-                    bucket[op] = bucket.get(op, 0.0) + rate
-        return offered
-
-    def _evaluate_nodes(
-        self,
-        offered: dict[str, dict[str, float]],
-        compaction_bg: dict[str, float],
-    ) -> tuple[dict[str, object], dict[str, dict[str, float]], dict[str, float]]:
-        """Evaluate online nodes; returns results, region latencies and scales."""
-        node_results: dict[str, object] = {}
-        region_latencies: dict[str, dict[str, float]] = {}
-        region_scale: dict[str, float] = {}
-        for node in self.nodes.values():
-            if not node.online:
-                continue
-            profiles = self._region_profiles(node, offered)
-            result = self._model_for(node).evaluate_node(
-                node.config, profiles, compaction_bg.get(node.name, 0.0)
-            )
-            node_results[node.name] = result
-            scale = 1.0 if result.utilization <= 1.0 else 1.0 / result.utilization
-            for profile in profiles:
-                region_latencies[profile.region_id] = result.per_op_latency_ms
-                region_scale[profile.region_id] = scale
-        return node_results, region_latencies, region_scale
-
-    def _solve_fixed_point_reference(
-        self, compaction_bg: dict[str, float], iterations: int = 10
-    ) -> tuple[
-        dict[str, float],
-        dict[str, object],
-        dict[str, dict[str, float]],
-        dict[str, float],
-    ]:
-        throughputs = {
-            name: self._binding_throughput.get(name, binding.threads * 50.0)
-            for name, binding in self.bindings.items()
-        }
-        region_latencies: dict[str, dict[str, float]] = {}
-        for _ in range(iterations):
-            offered = self._offered_rates(throughputs)
-            _, region_latencies, _ = self._evaluate_nodes(offered, compaction_bg)
-            new_throughputs: dict[str, float] = {}
-            for name, binding in self.bindings.items():
-                latency = binding.mean_latency(region_latencies)
-                target = binding.max_throughput(latency)
-                previous = throughputs[name]
-                new_throughputs[name] = 0.5 * previous + 0.5 * target
-            throughputs = new_throughputs
-
-        offered = self._offered_rates(throughputs)
-        node_results, region_latencies, region_scale = self._evaluate_nodes(
-            offered, compaction_bg
-        )
-        achieved: dict[str, float] = {}
-        region_rates: dict[str, dict[str, float]] = {}
-        binding_latencies: dict[str, float] = {}
-        for name, binding in self.bindings.items():
-            total = 0.0
-            for load in binding.offered_loads(throughputs.get(name, 0.0)):
-                scale = region_scale.get(load.region_id, 0.0)
-                bucket = region_rates.setdefault(load.region_id, {})
-                for op, rate in load.rates.items():
-                    bucket[op] = bucket.get(op, 0.0) + rate * scale
-                total += load.total * scale
-            achieved[name] = total
-            binding_latencies[name] = binding.mean_latency(region_latencies)
-        return achieved, node_results, region_rates, binding_latencies
+        return self._solver.solve(compaction_bg)
 
     def _apply_tick_results(
         self,
@@ -1083,6 +987,108 @@ class ClusterSimulator:
             samples.append((node.name, "requests", node.served_ops))
             samples.append((node.name, "locality", locality))
         self.metrics.record_many(now, samples)
+
+    def _apply_tick_results_batch(
+        self,
+        dt: float,
+        ticks: int,
+        throughputs: dict[str, float],
+        node_results: dict[str, object],
+        region_rates: dict[str, dict[str, float]],
+        binding_latencies: dict[str, float] | None = None,
+    ) -> None:
+        """Apply one cached tick result ``ticks`` times in one pass.
+
+        Every *rate* observable (throughputs, per-node utilisation, metric
+        sample values) is constant across the span, so the per-tick sample
+        list is built once and recorded at each tick's timestamp -- the
+        timestamps replicate :meth:`SimulationClock.advance`'s float
+        accumulation bit-exactly, so the recorded series is byte-identical
+        to ``ticks`` individual ticks.  Cumulative counters advance by
+        ``rate * dt * ticks`` (a fused multiply instead of ``ticks``
+        repeated additions; the difference is ~1e-16 relative).
+        """
+        span = dt * ticks
+        for region in self._rated_regions:
+            fields = region.__dict__
+            fields["read_rate"] = 0.0
+            fields["write_rate"] = 0.0
+            fields["scan_rate"] = 0.0
+        rated = self._rated_regions = []
+
+        samples: list[tuple[str, str, float]] = []
+        latencies = binding_latencies or {}
+        total = 0.0
+        for name in self.bindings:
+            throughput = throughputs.get(name, 0.0)
+            latency = latencies.get(name, 0.0)
+            self._binding_throughput[name] = throughput
+            self._binding_latency_ms[name] = latency
+            total += throughput
+            entity = f"workload:{name}"
+            samples.append((entity, "throughput", throughput))
+            samples.append((entity, "latency_ms", latency))
+
+        regions = self.regions
+        for region_id, rates in region_rates.items():
+            region = regions.get(region_id)
+            if region is None:
+                raise SimulationError(f"unknown region {region_id!r}")
+            rated.append(region)
+            get = rates.get
+            rmw = get("read_modify_write", 0.0)
+            reads = get("read", 0.0) + rmw
+            inserts = get("insert", 0.0)
+            writes = get("update", 0.0) + inserts + rmw
+            scans = get("scan", 0.0)
+            fields = region.__dict__
+            fields["reads"] += reads * span
+            fields["writes"] += writes * span
+            fields["scans"] += scans * span
+            fields["read_rate"] += reads
+            fields["write_rate"] += writes
+            fields["scan_rate"] += scans
+            # Reusable solutions are insert-free (data growth is a dirty
+            # flag); keep the term so a future relaxation cannot silently
+            # stop growing regions.
+            fields["size_bytes"] += inserts * span * region.record_size
+
+        self.total_ops += total * span
+        samples.append(("cluster", "throughput", total))
+        samples.append(("cluster", "operations", total * dt))
+        samples.append(("cluster", "nodes", float(self.online_node_count())))
+
+        for node in self.nodes.values():
+            hosted = self.regions_on(node.name)
+            result = node_results.get(node.name)
+            if result is None:
+                node.cpu_utilization = 0.0
+                node.io_wait = 0.0
+                node.memory_utilization = 0.0
+                node.served_ops = 0.0
+            else:
+                node.cpu_utilization = min(1.0, result.cpu_utilization)
+                node.io_wait = min(1.0, result.io_wait)
+                node.memory_utilization = min(1.0, result.memory_utilization)
+                served = 0.0
+                for region in hosted:
+                    served += region.read_rate + region.write_rate + region.scan_rate
+                node.served_ops = served
+            locality = _size_weighted_locality(hosted)
+            samples.append((node.name, "cpu", node.cpu_utilization))
+            samples.append((node.name, "io_wait", node.io_wait))
+            samples.append((node.name, "memory", node.memory_utilization))
+            samples.append((node.name, "requests", node.served_ops))
+            samples.append((node.name, "locality", locality))
+
+        # Reproduce clock.advance's float sequence: per-tick apply records
+        # at ``clock.now + dt`` and the clock then accumulates ``+= dt``.
+        timestamps: list[float] = []
+        now = self.clock.now
+        for _ in range(ticks):
+            now = now + dt
+            timestamps.append(now)
+        self.metrics.record_many_repeated(timestamps, samples)
 
 
 def _size_weighted_locality(hosted: list[SimulatedRegion]) -> float:

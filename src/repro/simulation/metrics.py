@@ -146,6 +146,37 @@ class MetricsRegistry:
             timestamps.append(timestamp)
             series.values.append(float(value))
 
+    def record_many_repeated(
+        self,
+        timestamps: list[float],
+        samples: Iterable[tuple[str, str, float]],
+    ) -> None:
+        """Record the same ``(entity, metric, value)`` batch at many times.
+
+        Backbone of the event kernel's macro-tick: a quiescent stretch emits
+        identical per-tick values, so each series gets ``timestamps`` (all
+        of them, in order) appended with its value repeated -- exactly the
+        samples ``len(timestamps)`` :meth:`record_many` calls would have
+        produced, without re-walking the sample list per tick.
+        """
+        if not timestamps:
+            return
+        count = len(timestamps)
+        first = timestamps[0]
+        series_map = self._series
+        for entity, metric, value in samples:
+            key = (entity, metric)
+            series = series_map.get(key)
+            if series is None:
+                series = series_map[key] = MetricSeries(name=f"{entity}.{metric}")
+            existing = series.timestamps
+            if existing and first < existing[-1]:
+                raise ValueError(
+                    f"samples must be appended in time order: {first} < {existing[-1]}"
+                )
+            existing.extend(timestamps)
+            series.values.extend([float(value)] * count)
+
     def entities(self) -> list[str]:
         """Distinct entity names with at least one series."""
         return sorted({entity for entity, _ in self._series})

@@ -167,3 +167,153 @@ class TestNodeEvaluatorEquivalence:
         assert actual.memory_utilization == pytest.approx(
             expected.memory_utilization, rel=1e-12
         )
+
+
+class TestEventKernelEquivalence:
+    """The event kernel matches the fast kernel on the churn scenario.
+
+    Driven tick by tick (the churn scenario's insert-bearing tenants never
+    allow reuse anyway), this pins the event kernel's solver -- dispatch,
+    dirty-flag handling, caching -- to the golden-trace kernel's numbers
+    under region moves, compactions, reconfigurations and node churn.
+    """
+
+    def test_mixed_scenario_throughput_series_match(self):
+        fast_sim, fast_nodes = build_scenario("fast")
+        event_sim, event_nodes = build_scenario("event")
+        assert fast_nodes == event_nodes
+
+        fast = drive(fast_sim, fast_nodes)
+        event = drive(event_sim, event_nodes)
+
+        assert set(fast) == set(event)
+        for name in fast:
+            for tick, (optimized, twin) in enumerate(zip(fast[name], event[name])):
+                assert math.isclose(
+                    optimized, twin, rel_tol=REL_TOL, abs_tol=ABS_TOL
+                ), f"{name} diverged at tick {tick}: {optimized} vs {twin}"
+        assert event_sim.assignment() == fast_sim.assignment()
+
+
+def _build_quiet_pair():
+    """Insert-free steady twins (event + fast): quiescent once settled."""
+    from repro.simulation.workload import WorkloadBinding
+
+    sims = []
+    for kernel in ("event", "fast"):
+        sim = ClusterSimulator(kernel=kernel, tick_seconds=5.0)
+        nodes = [sim.add_node() for _ in range(4)]
+        for index in range(12):
+            sim.add_region(f"r{index}", "tenant", 5e8, node=nodes[index % 4])
+        weight = 1.0 / 12
+        weights = {f"r{index}": weight for index in range(12)}
+        weights["r11"] = 1.0 - weight * 11
+        sim.attach_workload(
+            WorkloadBinding(
+                name="tenant",
+                threads=40,
+                op_mix={"read": 0.7, "update": 0.3},
+                region_weights=weights,
+            )
+        )
+        sims.append(sim)
+    return sims[0], sims[1]
+
+
+def _assert_series_match(event_sim, fast_sim):
+    """Every recorded metric series agrees within the acceptance tolerance."""
+    event_keys = {key for key, _ in event_sim.metrics.items()}
+    fast_keys = {key for key, _ in fast_sim.metrics.items()}
+    assert event_keys == fast_keys
+    for key, series in fast_sim.metrics.items():
+        twin = event_sim.metrics.series(*key)
+        assert twin.timestamps == series.timestamps, f"timestamps differ for {key}"
+        assert len(twin.values) == len(series.values)
+        for tick, (a, b) in enumerate(zip(twin.values, series.values)):
+            assert math.isclose(a, b, rel_tol=REL_TOL, abs_tol=ABS_TOL), (
+                f"{key} diverged at sample {tick}: {a} vs {b}"
+            )
+
+
+class TestQuiescenceAdversarial:
+    """Fast-forwarding must stop for anything that changes the solution.
+
+    Each case runs the event kernel through :meth:`ClusterSimulator.run`
+    (macro-ticks engaged) against a fast-kernel twin ticked one by one, and
+    requires every metric series to agree -- so an event swallowed by a
+    skipped stretch, or a skip overshooting a state transition, fails the
+    test rather than silently warping the trace.
+    """
+
+    def test_node_boot_completes_mid_skip(self):
+        event_sim, fast_sim = _build_quiet_pair()
+        event_sim.run(300.0)
+        for _ in range(60):
+            fast_sim.tick()
+        # Boot completion (90 s = 18 ticks in) lands inside the quiet
+        # stretch; the NODE_ONLINE event must bound the macro-tick.
+        event_sim.add_node(name="late", online=False)
+        fast_sim.add_node(name="late", online=False)
+        event_sim.run(600.0)
+        for _ in range(120):
+            fast_sim.tick()
+        assert event_sim.stats.skipped_ticks > 0, "fast-forward never engaged"
+        assert event_sim.nodes["late"].state == fast_sim.nodes["late"].state
+        _assert_series_match(event_sim, fast_sim)
+
+    def test_back_to_back_boots_one_tick_apart(self):
+        event_sim, fast_sim = _build_quiet_pair()
+        event_sim.run(300.0)
+        for _ in range(60):
+            fast_sim.tick()
+        for sim in (event_sim, fast_sim):
+            sim.add_node(name="late-a", online=False)
+        event_sim.run(5.0)
+        fast_sim.tick()
+        # Second boot starts one tick later: completions land on adjacent
+        # ticks, leaving no room to skip between them.
+        for sim in (event_sim, fast_sim):
+            sim.add_node(name="late-b", online=False)
+        event_sim.run(595.0)
+        for _ in range(119):
+            fast_sim.tick()
+        assert event_sim.stats.skipped_ticks > 0
+        _assert_series_match(event_sim, fast_sim)
+
+    def test_compaction_drains_during_quiet_stretch(self):
+        event_sim, fast_sim = _build_quiet_pair()
+        event_sim.run(300.0)
+        for _ in range(60):
+            fast_sim.tick()
+        # Make r0 remote on rs-2, then compact: the drain runs as constant
+        # background I/O (reusable) until the completion flips r0 local --
+        # a structure change the skip must not jump over.
+        for sim in (event_sim, fast_sim):
+            sim.move_region("r0", "rs-2")
+            assert sim.major_compact("rs-2") > 0
+        event_sim.run(900.0)
+        for _ in range(180):
+            fast_sim.tick()
+        assert event_sim.stats.skipped_ticks > 0
+        assert event_sim.regions["r0"].locality == fast_sim.regions["r0"].locality == 1.0
+        assert event_sim.nodes["rs-2"].pending_compaction_bytes == 0.0
+        _assert_series_match(event_sim, fast_sim)
+
+    def test_restart_boundary_misaligned_with_run_window(self):
+        """A reconfiguration restart whose completion is not a multiple of
+        the run() window: the skip must stop at the restart boundary even
+        when the caller's run windows straddle it."""
+        event_sim, fast_sim = _build_quiet_pair()
+        event_sim.run(300.0)
+        for _ in range(60):
+            fast_sim.tick()
+        for sim in (event_sim, fast_sim):
+            sim.reconfigure_node("rs-3", NODE_PROFILES["read"].config, profile_name="read")
+        # Uneven windows (175 s = 35 ticks) interleave with the restart
+        # completion; chunked and monolithic advancement must agree.
+        for _ in range(4):
+            event_sim.run(175.0)
+        for _ in range(140):
+            fast_sim.tick()
+        assert event_sim.stats.skipped_ticks > 0
+        _assert_series_match(event_sim, fast_sim)
