@@ -46,7 +46,7 @@ def diurnal_with_failure() -> ScenarioSpec:
 
 def main() -> None:
     spec = diurnal_with_failure()
-    result = run_scenario(spec, controller="met")
+    result = run_scenario(spec, controller="met", keep_simulator=False)
 
     print(f"scenario: {spec.name} (seed={spec.seed})")
     print(f"  {spec.description}\n")

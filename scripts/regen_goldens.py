@@ -46,9 +46,11 @@ GOLDEN_DIR = REPO_ROOT / "tests" / "golden"
 
 def expected_payloads() -> dict[Path, str]:
     """Canonical serialisation of every (scenario, controller) golden."""
+    # Goldens run the scenario runner's default kernel (the event kernel
+    # since the catalog-wide soak proved it byte-identical to "fast").
     return {
         GOLDEN_DIR / golden_name(name, controller): trace_to_json(
-            scenario_trace(spec, controller, kernel="fast")
+            scenario_trace(spec, controller)
         )
         for name, spec in sorted(CANNED_SCENARIOS.items())
         for controller in GOLDEN_CONTROLLERS

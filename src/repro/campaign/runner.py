@@ -1,0 +1,135 @@
+"""Campaign execution: fan cells out over a process pool, append results.
+
+Workers receive the fully scaled, reseeded :class:`ScenarioSpec` (specs are
+small and pickle cleanly), run it with ``keep_simulator=False`` -- the
+sweep-hygiene mode that severs simulator reference cycles -- and reduce the
+run to the same scorecard numbers the SLA layer uses everywhere else.
+
+Two properties the tests pin down:
+
+* **Determinism across pool sizes.**  Futures are consumed in submission
+  (grid) order, so the results store receives records in the same order
+  whether one worker ran them or eight did -- same grid + master seed
+  means byte-identical stores.
+* **Resume.**  Cells whose id is already in the store are skipped before
+  any worker starts; a campaign killed halfway re-runs only what is
+  missing and the final store bytes match an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.campaign.grid import CampaignCell, CampaignGrid
+from repro.campaign.store import ResultsStore
+from repro.scenarios.runner import DEFAULT_KERNEL, run_scenario
+from repro.scenarios.spec import ScenarioSpec
+from repro.sla.scorecard import scorecard_row
+
+__all__ = ["CampaignError", "CampaignReport", "run_campaign"]
+
+
+class CampaignError(RuntimeError):
+    """A campaign-level invariant was violated (e.g. skipping not active)."""
+
+
+@dataclass
+class CampaignReport:
+    """What one :func:`run_campaign` pass did."""
+
+    total: int
+    skipped: int
+    executed: list[dict] = field(default_factory=list)
+
+    @property
+    def completed(self) -> int:
+        """Cells accounted for after this pass (resumed + newly run)."""
+        return self.skipped + len(self.executed)
+
+
+def _cell_record(cell: CampaignCell, spec: ScenarioSpec, kernel: str) -> dict:
+    """Run one cell and reduce it to a store record.
+
+    Module-level so :class:`ProcessPoolExecutor` can pickle it.  The record
+    carries no wall-clock or host-specific fields: store bytes must be a
+    pure function of grid + master seed (see the determinism tests).
+    """
+    result = run_scenario(
+        spec, controller=cell.controller, kernel=kernel, keep_simulator=False
+    )
+    row = scorecard_row(result)
+    return {
+        "cell": cell.cell_id,
+        "scenario": cell.scenario,
+        "controller": cell.controller,
+        "scale": cell.scale.name,
+        "load": cell.scale.load,
+        "tenant_copies": cell.scale.tenant_copies,
+        "seed_index": cell.seed_index,
+        "seed": cell.seed,
+        "kernel": kernel,
+        "skip_active": result.run.skip_active,
+        "skip_disabled_reason": result.run.skip_disabled_reason,
+        "mean_throughput": row.mean_throughput,
+        "violation_minutes": row.violation_minutes,
+        "cost": row.cost,
+        "machine_minutes": row.machine_minutes,
+        "assertions_passed": row.assertions_passed,
+    }
+
+
+def run_campaign(
+    grid: CampaignGrid,
+    store: ResultsStore,
+    workers: int = 1,
+    kernel: str = DEFAULT_KERNEL,
+    require_skip: bool | None = None,
+    progress: Callable[[int, int, str], None] | None = None,
+) -> CampaignReport:
+    """Run every grid cell not yet in ``store``; return what happened.
+
+    ``require_skip`` asserts every executed run actually had quiescence
+    fast-forwarding engaged; it defaults to on for the event kernel (a
+    campaign silently losing the event-kernel speedup is the failure mode
+    the skip-eligibility satellite made loud) and off for kernels that
+    have no fast-forward path.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if require_skip is None:
+        require_skip = kernel == "event"
+    done = store.completed_ids()
+    cells = grid.cells()
+    pending = [cell for cell in cells if cell.cell_id not in done]
+    report = CampaignReport(total=len(cells), skipped=len(cells) - len(pending))
+
+    def finish(cell: CampaignCell, record: dict) -> None:
+        if require_skip and not record["skip_active"]:
+            raise CampaignError(
+                f"cell {cell.cell_id}: quiescence skipping was not active "
+                f"({record['skip_disabled_reason'] or 'no reason recorded'}); "
+                "pass require_skip=False to accept tick-by-tick runs"
+            )
+        store.append(record)
+        report.executed.append(record)
+        if progress is not None:
+            progress(report.completed, report.total, cell.cell_id)
+
+    if workers == 1 or len(pending) <= 1:
+        for cell in pending:
+            finish(cell, _cell_record(cell, grid.spec_for(cell), kernel))
+        return report
+
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        # Consume futures in submission (grid) order, not completion order:
+        # the store must receive records deterministically for the
+        # byte-identity guarantee, and grid order is the natural one.
+        futures = [
+            (cell, pool.submit(_cell_record, cell, grid.spec_for(cell), kernel))
+            for cell in pending
+        ]
+        for cell, future in futures:
+            finish(cell, future.result())
+    return report

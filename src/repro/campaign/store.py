@@ -1,0 +1,91 @@
+"""Crash-tolerant append-only results store: one JSON line per finished run.
+
+The store is the campaign's source of truth for what is already done.  A
+worker crash, an interrupt or a power cut costs at most the cells that were
+in flight: every completed cell is one flushed line, and a *truncated final
+line* (the signature of dying mid-write) is ignored on load so the next
+pass simply re-runs that cell.  A damaged line anywhere *before* the end is
+real corruption and raises -- silently dropping completed results would
+skew the aggregates.
+
+Records are serialised with sorted keys and no wall-clock fields, so a
+store's bytes are a pure function of the grid and the master seed; the
+determinism tests compare stores byte for byte across pool sizes and
+resume passes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["ResultsStore", "StoreCorruption"]
+
+
+class StoreCorruption(RuntimeError):
+    """A non-final store line failed to parse: completed data is damaged."""
+
+
+class ResultsStore:
+    """Append-only JSONL store keyed by campaign cell id."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def append(self, record: dict) -> None:
+        """Durably append one completed-cell record.
+
+        A file not ending in a newline carries a torn final line from a
+        crash mid-write; appending straight after it would fuse the new
+        record onto the remnant and turn a recoverable tear into *middle*
+        corruption.  The tear is truncated away first -- exactly the line
+        :meth:`load` would have ignored.
+        """
+        line = json.dumps(record, sort_keys=True)
+        if "\n" in line:  # pragma: no cover - json.dumps never emits newlines
+            raise ValueError("record serialisation must be single-line")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a+b") as handle:
+            handle.seek(0, 2)
+            if handle.tell():
+                handle.seek(-1, 2)
+                if handle.read(1) != b"\n":
+                    handle.seek(0)
+                    intact = handle.read().rfind(b"\n") + 1
+                    handle.truncate(intact)
+            handle.write(line.encode("utf-8") + b"\n")
+            handle.flush()
+
+    def load(self) -> list[dict]:
+        """Every completed record, tolerating only a truncated final line."""
+        if not self.path.exists():
+            return []
+        text = self.path.read_text(encoding="utf-8")
+        lines = text.split("\n")
+        trailing = lines.pop()  # "" after a clean write; a partial record after a crash
+        records: list[dict] = []
+        for number, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                raise StoreCorruption(
+                    f"{self.path}:{number}: damaged record before end of store "
+                    f"({error}); refusing to aggregate over silently dropped runs"
+                ) from None
+        if trailing.strip():
+            try:
+                records.append(json.loads(trailing))
+            except json.JSONDecodeError:
+                # Interrupted mid-append: the cell never completed; the next
+                # campaign pass re-runs it.
+                pass
+        return records
+
+    def completed_ids(self) -> set[str]:
+        """Cell ids already present (the resume set)."""
+        return {record["cell"] for record in self.load()}
+
+    def __len__(self) -> int:
+        return len(self.load())

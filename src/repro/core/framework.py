@@ -108,13 +108,24 @@ class MeT:
         ticks.  While the actuator has an in-flight plan the controller
         must be stepped every tick (``now``); when disabled and idle it
         never acts (``inf``); otherwise the next monitor sampling instant
-        bounds the wakeup -- every decision happens on a sampling tick.
+        bounds the wakeup.  A decision that is already due but held back by
+        the cooldown fires on the first *step* after the cooldown lapses --
+        not on a sampling tick -- so a pending decision bounds the wakeup
+        by the cooldown-expiry instant as well.
         """
         if self.actuator.busy:
             return now
         if not self.enabled:
             return float("inf")
-        return self.monitor.next_wakeup(now)
+        wake = self.monitor.next_wakeup(now)
+        if self.monitor.decision_due():
+            if self._last_action_finished is None:
+                return now
+            cooldown_end = (
+                self._last_action_finished + self.parameters.cooldown_seconds
+            )
+            return min(wake, max(now, cooldown_end))
+        return wake
 
     # ------------------------------------------------------------------ #
     # internals

@@ -15,6 +15,7 @@ shows *why* the series changed shape at a given minute.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.core.interfaces import ClusterBackend
@@ -72,6 +73,13 @@ class StrategyRun:
     total_operations: float = 0.0
     final_nodes: int = 0
     machine_minutes: float = 0.0
+    #: Whether quiescence fast-forwarding was active on the (latest) run
+    #: and, when it was not, why -- an empty reason with ``skip_active``
+    #: False simply means the run never went through ``run_for``.  Campaign
+    #: sweeps assert on these instead of silently losing the event-kernel
+    #: speedup to a controller that forgot to implement ``next_wakeup``.
+    skip_active: bool = False
+    skip_disabled_reason: str = ""
 
     @property
     def mean_throughput(self) -> float:
@@ -187,12 +195,10 @@ class ExperimentHarness:
         simulator = self.simulator
         controllers = self._controllers
         tick_seconds = simulator.clock.tick_seconds
-        # Fast-forward needs every controller to declare when it next acts;
-        # an unknown controller must be stepped every tick, so its presence
-        # disables skipping entirely (conservative default).
-        can_skip = simulator.kernel == KERNEL_EVENT and all(
-            hasattr(controller, "next_wakeup") for controller in controllers
-        )
+        can_skip, disable_reason = self._skip_eligibility()
+        self.run.skip_active = can_skip
+        self.run.skip_disabled_reason = disable_reason
+        simulator.stats.extra["skip_disabled_reason"] = disable_reason
         remaining = seconds
         while remaining > 1e-9:
             if schedule is not None:
@@ -228,6 +234,39 @@ class ExperimentHarness:
             self._fire_due(schedule)
         self._finalise()
         return self.run
+
+    def _skip_eligibility(self) -> tuple[bool, str]:
+        """Whether quiescent fast-forwarding may engage, and if not, why.
+
+        Fast-forward needs every controller to declare when it next acts; an
+        unknown controller must be stepped every tick, so its presence
+        disables skipping entirely (conservative default).  That silence
+        would otherwise cost a sweep the whole event-kernel speedup, so the
+        reason is recorded on the run and on ``KernelStats.extra`` and an
+        opaque controller draws a one-line warning.
+        """
+        simulator = self.simulator
+        if simulator.kernel != KERNEL_EVENT:
+            return False, f"kernel {simulator.kernel!r} has no fast-forward path"
+        opaque = sorted(
+            {
+                type(controller).__name__
+                for controller in self._controllers
+                if not hasattr(controller, "next_wakeup")
+            }
+        )
+        if opaque:
+            reason = (
+                "controllers without next_wakeup() force tick-by-tick "
+                "stepping: " + ", ".join(opaque)
+            )
+            warnings.warn(
+                f"{self.run.name}: quiescence skipping disabled -- {reason}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return False, reason
+        return True, ""
 
     def _plan_skip(self, schedule, tick_seconds: float, remaining: float) -> int:
         """How many upcoming whole ticks may be fast-forwarded in one batch.

@@ -36,6 +36,13 @@ from repro.simulation.hardware import HardwareSpec
 #: Controllers a scenario can run under.
 CONTROLLERS = ("none", "met", "tiramola")
 
+#: Kernel scenario runs default to.  The event kernel soaked across the
+#: whole catalog byte-identical to ``"fast"`` (tests/test_kernel_soak.py)
+#: and fast-forwards quiescent stretches, so it is the default for every
+#: scenario path (runner, traces, scorecards, campaigns); pass
+#: ``kernel="fast"`` explicitly to opt out.
+DEFAULT_KERNEL = "event"
+
 #: Default scenario hardware: the weak elasticity-experiment VMs of
 #: Section 6.4, so reduced-scale scenarios still saturate a few nodes.
 SCENARIO_HARDWARE = HardwareSpec(
@@ -120,7 +127,7 @@ def materialise_tenants(simulator: ClusterSimulator, tenants) -> list:
 
 
 def build_scenario(
-    spec: ScenarioSpec, kernel: str = "fast"
+    spec: ScenarioSpec, kernel: str = DEFAULT_KERNEL
 ) -> tuple[ClusterSimulator, OpenStackProvider, ScenarioContext, list[str]]:
     """Materialise the spec's cluster and initial tenants (no controller yet)."""
     simulator = ClusterSimulator(
@@ -203,12 +210,19 @@ def _normalise_decisions(name: str, controller) -> list[dict]:
 def run_scenario(
     spec: ScenarioSpec,
     controller: str = "none",
-    kernel: str = "fast",
+    kernel: str = DEFAULT_KERNEL,
     sample_every_seconds: float = 60.0,
     keep_simulator: bool = True,
     record_tenant_series: bool = True,
 ) -> ScenarioRunResult:
-    """Run ``spec`` under ``controller`` and return the recorded result."""
+    """Run ``spec`` under ``controller`` and return the recorded result.
+
+    ``keep_simulator=False`` is the batch-caller mode: the simulator and
+    scenario context are not attached to the result *and* their internal
+    reference cycles are severed before returning, so a sweep looping over
+    thousands of runs holds at most the one simulator it is currently
+    running (see :meth:`ClusterSimulator.dispose`).
+    """
     simulator, provider, context, _ = build_scenario(spec, kernel=kernel)
     backend = make_backend(simulator, provider=provider)
     context.faults.vm_ids = backend.vm_ids
@@ -244,4 +258,15 @@ def run_scenario(
         machine_hours=provider.machine_hours(),
     )
     result.assertions = evaluate_assertions(result)
+    if not keep_simulator:
+        # Eagerly break the back-references that would otherwise pin the
+        # simulator until a cyclic gc pass: the simulator's own cycles
+        # (regions' _owner, the solver strategy) and MeT's actuator
+        # completion callback, which closes a controller -> actuator ->
+        # controller loop holding the backend (and through it the
+        # simulator) alive.
+        simulator.dispose()
+        actuator = getattr(instance, "actuator", None)
+        if actuator is not None:
+            actuator.on_plan_complete = None
     return result

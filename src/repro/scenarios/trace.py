@@ -21,7 +21,7 @@ import json
 import math
 from pathlib import Path
 
-from repro.scenarios.runner import ScenarioRunResult, run_scenario
+from repro.scenarios.runner import DEFAULT_KERNEL, ScenarioRunResult, run_scenario
 from repro.scenarios.spec import ScenarioSpec
 
 #: Trace schema version; bump when the shape changes and regenerate goldens.
@@ -161,7 +161,7 @@ def result_trace(result: ScenarioRunResult) -> dict:
 
 
 def scenario_trace(
-    spec: ScenarioSpec, controller: str = "met", kernel: str = "fast"
+    spec: ScenarioSpec, controller: str = "met", kernel: str = DEFAULT_KERNEL
 ) -> dict:
     """Run ``spec`` and return its trace."""
     result = run_scenario(spec, controller=controller, kernel=kernel, keep_simulator=False)

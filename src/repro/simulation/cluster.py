@@ -755,6 +755,24 @@ class ClusterSimulator:
         """
         self._mark_structure()
 
+    def dispose(self) -> None:
+        """Sever the simulator's internal reference cycles; terminal.
+
+        A discarded simulator (``run_scenario(keep_simulator=False)``, sweep
+        workers looping over thousands of runs) would otherwise linger until
+        a *cyclic* gc pass: every region holds an ``_owner`` back-reference
+        and the solver strategy points back at the simulator.  Disposal
+        breaks those cycles so plain reference counting reclaims the whole
+        object graph the moment the last external reference drops.  The
+        simulator cannot be ticked afterwards.
+        """
+        for region in self.regions.values():
+            object.__setattr__(region, "_owner", None)
+        self._solver = None
+        self.events.clear()
+        self._sorted_regions_cache.clear()
+        self._rated_regions = []
+
     def _mark_dirty(self) -> None:
         """A mutation invalidated the cached fixed-point solution."""
         self._solver.invalidate()

@@ -56,16 +56,21 @@ def scenario_scorecard(
     scenarios=None,
     controllers: tuple[str, ...] = ("met", "tiramola"),
     pricing: PricingModel = DEFAULT_PRICING,
-    kernel: str = "fast",
+    kernel: str | None = None,
 ) -> list[ScorecardRow]:
     """Run every scenario under every controller and reduce to rows.
 
-    ``scenarios`` defaults to the whole canned catalog.  Rows come back
-    grouped by scenario in catalog order, controllers in the given order.
+    ``scenarios`` defaults to the whole canned catalog; ``kernel`` to the
+    scenario runner's default.  Rows come back grouped by scenario in
+    catalog order, controllers in the given order.
     """
     # Imported lazily: repro.scenarios imports the SLA assertion types, so a
     # module-level import here would be circular.
     from repro.scenarios import CANNED_SCENARIOS, run_scenario
+    from repro.scenarios.runner import DEFAULT_KERNEL
+
+    if kernel is None:
+        kernel = DEFAULT_KERNEL
 
     if scenarios is None:
         specs = list(CANNED_SCENARIOS.values())

@@ -13,6 +13,7 @@ Three layers of guarantees:
 """
 
 import math
+import warnings
 
 import pytest
 
@@ -279,7 +280,8 @@ class TestHarnessFastForward:
         assert skip_sim.stats.skipped_ticks > 200, "fast-forward never engaged"
 
         ticking, tick_sim = _build_harness("event", opaque=True)
-        ticked = ticking.run_for(1800.0, schedule=_schedule_for(tick_sim))
+        with pytest.warns(RuntimeWarning, match="quiescence skipping disabled"):
+            ticked = ticking.run_for(1800.0, schedule=_schedule_for(tick_sim))
         assert tick_sim.stats.skipped_ticks == 0, (
             "a controller without next_wakeup must disable skipping"
         )
@@ -311,3 +313,39 @@ class TestHarnessFastForward:
         )
         _assert_runs_identical(event_run, fast_run)
         assert_identical_metrics(event_sim, fast_sim)
+
+
+class TestSkipEligibility:
+    """Satellite fix: a silently disabled fast-forward path is now loud.
+
+    ``run_for`` records *whether* quiescence skipping was active and, when
+    not, *why* -- on the run and on ``KernelStats.extra`` -- so a campaign
+    can assert the event-kernel speedup actually engaged instead of
+    discovering a 10x slowdown in wall-clock graphs.
+    """
+
+    def test_opaque_controller_warns_and_records_reason(self):
+        harness, sim = _build_harness("event", opaque=True)
+        with pytest.warns(RuntimeWarning, match="quiescence skipping disabled"):
+            run = harness.run_for(600.0)
+        assert run.skip_active is False
+        assert "_OpaqueController" in run.skip_disabled_reason
+        assert "next_wakeup" in run.skip_disabled_reason
+        assert sim.stats.extra["skip_disabled_reason"] == run.skip_disabled_reason
+        assert sim.stats.skipped_ticks == 0
+
+    def test_standard_controllers_keep_skipping_active(self):
+        harness, sim = _build_harness("event", daemon_period=45.0)
+        run = harness.run_for(600.0)
+        assert run.skip_active is True
+        assert run.skip_disabled_reason == ""
+        assert sim.stats.extra["skip_disabled_reason"] == ""
+
+    def test_non_event_kernel_records_reason_without_warning(self):
+        harness, sim = _build_harness("fast")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any warning would fail the test
+            run = harness.run_for(600.0)
+        assert run.skip_active is False
+        assert "fast" in run.skip_disabled_reason
+        assert sim.stats.extra["skip_disabled_reason"] == run.skip_disabled_reason

@@ -104,10 +104,11 @@ def _suite_timer():
 
 
 @lru_cache(maxsize=None)
-def _fast_trace(scenario: str, controller: str) -> dict:
-    """One fast-kernel run per combo, shared by the golden and kernel tests
-    (runs are deterministic, so caching cannot hide a divergence)."""
-    return scenario_trace(CANNED_SCENARIOS[scenario], controller, kernel="fast")
+def _default_trace(scenario: str, controller: str) -> dict:
+    """One default-kernel (event) run per combo, shared by the golden and
+    kernel tests (runs are deterministic, so caching cannot hide a
+    divergence)."""
+    return scenario_trace(CANNED_SCENARIOS[scenario], controller)
 
 
 def _load_golden(scenario: str, controller: str) -> dict:
@@ -126,7 +127,7 @@ class TestGoldenTraces:
     @pytest.mark.parametrize("scenario,controller", COMBOS)
     def test_trace_matches_committed_golden(self, scenario, controller):
         golden = _load_golden(scenario, controller)
-        observed = _fast_trace(scenario, controller)
+        observed = _default_trace(scenario, controller)
         differences = diff_traces(
             golden, observed, rel_tol=GOLDEN_REL_TOL, abs_tol=GOLDEN_REL_TOL
         )
@@ -139,9 +140,11 @@ class TestGoldenTraces:
 
     @pytest.mark.parametrize("scenario,controller", KERNEL_COMBOS)
     def test_kernels_agree(self, scenario, controller):
-        """kernel="fast" and kernel="reference" tell the same story."""
+        """The default (event) kernel and kernel="reference" tell the same
+        story.  Event-vs-fast byte identity is locked down separately by
+        tests/test_kernel_soak.py."""
         spec = CANNED_SCENARIOS[scenario]
-        fast = copy.deepcopy(_fast_trace(scenario, controller))
+        fast = copy.deepcopy(_default_trace(scenario, controller))
         reference = scenario_trace(spec, controller, kernel="reference")
         # The kernel tag itself legitimately differs.
         fast.pop("kernel")
@@ -180,8 +183,8 @@ class TestGoldenTraces:
     )
     def test_identical_seed_runs_are_byte_identical(self, scenario, controller):
         spec = CANNED_SCENARIOS[scenario]
-        first = trace_to_json(scenario_trace(spec, controller, kernel="fast"))
-        second = trace_to_json(scenario_trace(spec, controller, kernel="fast"))
+        first = trace_to_json(scenario_trace(spec, controller))
+        second = trace_to_json(scenario_trace(spec, controller))
         assert first == second
 
     def test_goldens_are_canonically_serialised(self):

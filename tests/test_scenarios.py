@@ -604,3 +604,49 @@ class TestHarnessScheduleIntegration:
     def test_run_scenario_rejects_unknown_controller(self):
         with pytest.raises(ValueError, match="unknown controller"):
             run_scenario(two_tenant_spec(), controller="magic")
+
+
+class TestSweepHygiene:
+    """Satellite fix: batch runs must not pin simulators alive.
+
+    ``keep_simulator=False`` severs the simulator's internal reference
+    cycles (``region._owner`` back-references, the solver's simulator
+    handle, the MeT<->Actuator completion callback), so each discarded run
+    frees by *refcount* alone.  With the cycle collector switched off, a
+    sweep that leaked would accumulate one ClusterSimulator per run -- the
+    bug that made long campaign sweeps balloon before this fix.
+    """
+
+    def test_fifty_discarded_runs_leave_no_live_simulators(self):
+        import gc
+
+        spec = ScenarioSpec(
+            name="hygiene",
+            tenants=(TenantSpec(SMALL_A, target_ops=1500.0),),
+            duration_minutes=1.0,
+            initial_nodes=2,
+            max_nodes=3,
+        )
+        gc.collect()
+        gc.disable()
+        try:
+            for _ in range(50):
+                run_scenario(spec, controller="met", keep_simulator=False)
+            live = [
+                obj for obj in gc.get_objects()
+                if isinstance(obj, ClusterSimulator)
+            ]
+            assert len(live) <= 1, (
+                f"{len(live)} simulators still alive after 50 discarded "
+                "runs: a reference cycle is pinning them (dispose() or the "
+                "actuator-callback severing regressed)"
+            )
+        finally:
+            gc.enable()
+            gc.collect()
+
+    def test_kept_simulator_still_works(self):
+        spec = two_tenant_spec(duration_minutes=1.0)
+        result = run_scenario(spec, controller="none")  # keep_simulator=True
+        assert result.simulator is not None
+        result.simulator.tick()  # still usable: dispose() must not have run
