@@ -38,6 +38,7 @@ from repro.campaign import (  # noqa: E402
     ScaleSpec,
     plot_campaign,
     render_campaign_table,
+    render_seed_quantile_table,
     run_campaign,
     write_campaign_bench,
 )
@@ -91,14 +92,23 @@ def print_progress(done: int, total: int, cell_id: str) -> None:
 def run_bench(grid: CampaignGrid, args: argparse.Namespace) -> int:
     """Time the same grid serially and on the pool; write BENCH_campaign.json."""
     with tempfile.TemporaryDirectory(prefix="campaign-bench-") as tmp:
+        # Profiling sidecars stay on for both passes: the byte-identity check
+        # below then doubles as a regression test that wall-clock profiling
+        # never leaks into the deterministic store.
         serial_store = ResultsStore(Path(tmp) / "serial.jsonl")
         start = time.perf_counter()
-        run_campaign(grid, serial_store, workers=1, kernel=args.kernel)
+        run_campaign(
+            grid, serial_store, workers=1, kernel=args.kernel,
+            profile_path=Path(tmp) / "serial.profile.jsonl",
+        )
         serial_seconds = time.perf_counter() - start
 
         pool_store = ResultsStore(Path(tmp) / "pool.jsonl")
         start = time.perf_counter()
-        run_campaign(grid, pool_store, workers=args.workers, kernel=args.kernel)
+        run_campaign(
+            grid, pool_store, workers=args.workers, kernel=args.kernel,
+            profile_path=Path(tmp) / "pool.profile.jsonl",
+        )
         pool_seconds = time.perf_counter() - start
 
         if serial_store.path.read_bytes() != pool_store.path.read_bytes():
@@ -180,6 +190,12 @@ def main(argv: list[str] | None = None) -> int:
         help="where --bench writes its report",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="append per-cell wall-clock to a <store>.profile.jsonl sidecar "
+        "(kept outside the byte-deterministic store)",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
         help="CI mode: 2 scenarios x 2 controllers x 1 seed on 2 workers, "
@@ -202,23 +218,33 @@ def main(argv: list[str] | None = None) -> int:
             report = run_campaign(
                 grid, store, workers=args.workers, kernel=args.kernel,
                 progress=print_progress,
+                profile_path=Path(tmp) / "smoke.profile.jsonl" if args.profile else None,
             )
             records = store.load()
             table = render_campaign_table(records)
     else:
         store = ResultsStore(args.store)
+        profile_path = (
+            args.store.with_suffix(".profile.jsonl") if args.profile else None
+        )
         report = run_campaign(
             grid, store, workers=args.workers, kernel=args.kernel,
             progress=print_progress,
+            profile_path=profile_path,
         )
         records = store.load()
         table = render_campaign_table(records)
+        if profile_path is not None:
+            print(f"profile -> {profile_path}")
 
     print(
         f"\ncampaign: {report.total} cells, {report.skipped} resumed, "
         f"{len(report.executed)} executed"
     )
     print(table)
+    if args.seeds > 1:
+        print()
+        print(render_seed_quantile_table(records, metric="p99_ms"))
     if args.table_out is not None:
         args.table_out.write_text(table + "\n")
         print(f"table -> {args.table_out}")

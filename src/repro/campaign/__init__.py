@@ -26,6 +26,7 @@ from repro.campaign.analysis import (
     aggregate_records,
     plot_campaign,
     render_campaign_table,
+    render_seed_quantile_table,
     write_campaign_bench,
 )
 from repro.campaign.grid import (
@@ -53,6 +54,7 @@ __all__ = [
     "derive_seed",
     "plot_campaign",
     "render_campaign_table",
+    "render_seed_quantile_table",
     "run_campaign",
     "write_campaign_bench",
 ]

@@ -20,13 +20,14 @@ import platform
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.experiments.reporting import format_matchup
+from repro.experiments.reporting import format_matchup, format_table, percentiles
 
 __all__ = [
     "AggregateRow",
     "aggregate_records",
     "plot_campaign",
     "render_campaign_table",
+    "render_seed_quantile_table",
     "write_campaign_bench",
 ]
 
@@ -44,6 +45,10 @@ class AggregateRow:
     cost: float
     machine_minutes: float
     assertions_passed: bool
+    #: Seed-mean of each run's peak tail latency (0.0 for stores written
+    #: before the percentile pipeline landed).
+    p95_ms: float = 0.0
+    p99_ms: float = 0.0
 
     @property
     def label(self) -> str:
@@ -71,8 +76,8 @@ def aggregate_records(records: list[dict]) -> list[AggregateRow]:
         group = buckets[(scenario, scale, controller)]
         count = len(group)
 
-        def mean(field: str) -> float:
-            return sum(record[field] for record in group) / count
+        def mean(field: str, default: float = 0.0) -> float:
+            return sum(record.get(field, default) for record in group) / count
 
         rows.append(
             AggregateRow(
@@ -85,6 +90,8 @@ def aggregate_records(records: list[dict]) -> list[AggregateRow]:
                 cost=mean("cost"),
                 machine_minutes=mean("machine_minutes"),
                 assertions_passed=all(r["assertions_passed"] for r in group),
+                p95_ms=mean("p95_ms"),
+                p99_ms=mean("p99_ms"),
             )
         )
     return rows
@@ -100,12 +107,48 @@ def render_campaign_table(records: list[dict]) -> str:
         columns=[
             ("ops/s", lambda row: f"{row.mean_throughput:,.0f}"),
             ("viol-min", lambda row: f"{row.violation_minutes:.1f}"),
+            ("p95-ms", lambda row: f"{row.p95_ms:.2f}"),
+            ("p99-ms", lambda row: f"{row.p99_ms:.2f}"),
             ("cost", lambda row: f"{row.cost:.3f}"),
             ("mach-min", lambda row: f"{row.machine_minutes:.1f}"),
             ("seeds", lambda row: str(row.runs)),
             ("ok", lambda row: "yes" if row.assertions_passed else "NO"),
         ],
     )
+
+
+def render_seed_quantile_table(
+    records: list[dict],
+    metric: str = "p99_ms",
+    points: tuple[int, ...] = (5, 25, 50, 75, 95),
+) -> str:
+    """Quantiles of ``metric`` over the seed axis, one group per line.
+
+    The aggregate table answers "what happens on average"; this one answers
+    "how bad does the unlucky seed get" -- the question a tail-latency SLO
+    is about.  Groups follow the same first-appearance (scenario, scale,
+    controller) order as :func:`aggregate_records`; quantiles are the
+    linearly interpolated :func:`~repro.experiments.reporting.percentiles`.
+    """
+    order: list[tuple[str, str, str]] = []
+    buckets: dict[tuple[str, str, str], list[float]] = {}
+    for record in records:
+        key = (record["scenario"], record["scale"], record["controller"])
+        if key not in buckets:
+            order.append(key)
+            buckets[key] = []
+        buckets[key].append(float(record.get(metric, 0.0)))
+    headers = ["scenario", "controller", "seeds"] + [f"p{p}" for p in points]
+    rows = []
+    for scenario, scale, controller in order:
+        values = buckets[(scenario, scale, controller)]
+        label = scenario if scale == "1x" else f"{scenario}@{scale}"
+        spread = percentiles(values, points=points)
+        rows.append(
+            [label, controller, str(len(values))]
+            + [f"{spread[p]:.2f}" for p in points]
+        )
+    return f"seed-axis quantiles of {metric}\n" + format_table(headers, rows)
 
 
 def plot_campaign(records: list[dict], path: str | Path) -> bool:

@@ -18,8 +18,11 @@ Two properties the tests pin down:
 
 from __future__ import annotations
 
+import json
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable
 
 from repro.campaign.grid import CampaignCell, CampaignGrid
@@ -77,7 +80,23 @@ def _cell_record(cell: CampaignCell, spec: ScenarioSpec, kernel: str) -> dict:
         "cost": row.cost,
         "machine_minutes": row.machine_minutes,
         "assertions_passed": row.assertions_passed,
+        "p95_ms": row.p95_ms,
+        "p99_ms": row.p99_ms,
     }
+
+
+def _cell_record_timed(
+    cell: CampaignCell, spec: ScenarioSpec, kernel: str
+) -> tuple[dict, float]:
+    """:func:`_cell_record` plus the cell's wall-clock seconds.
+
+    The duration rides *alongside* the record, never inside it: wall-clock
+    belongs in the profile sidecar, and the store record must stay a pure
+    function of grid + master seed.
+    """
+    started = time.perf_counter()
+    record = _cell_record(cell, spec, kernel)
+    return record, time.perf_counter() - started
 
 
 def run_campaign(
@@ -87,6 +106,7 @@ def run_campaign(
     kernel: str = DEFAULT_KERNEL,
     require_skip: bool | None = None,
     progress: Callable[[int, int, str], None] | None = None,
+    profile_path: str | Path | None = None,
 ) -> CampaignReport:
     """Run every grid cell not yet in ``store``; return what happened.
 
@@ -95,6 +115,12 @@ def run_campaign(
     campaign silently losing the event-kernel speedup is the failure mode
     the skip-eligibility satellite made loud) and off for kernels that
     have no fast-forward path.
+
+    ``profile_path`` appends one ``{"cell": ..., "seconds": ...}`` JSON line
+    per executed cell to a *sidecar* file.  Wall-clock is host- and
+    run-specific, so it lives outside the results store: the store bytes
+    stay a pure function of grid + master seed whether profiling is on or
+    off (the serial-vs-pool byte-identity check runs with it enabled).
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -104,8 +130,9 @@ def run_campaign(
     cells = grid.cells()
     pending = [cell for cell in cells if cell.cell_id not in done]
     report = CampaignReport(total=len(cells), skipped=len(cells) - len(pending))
+    profile = Path(profile_path) if profile_path is not None else None
 
-    def finish(cell: CampaignCell, record: dict) -> None:
+    def finish(cell: CampaignCell, record: dict, seconds: float) -> None:
         if require_skip and not record["skip_active"]:
             raise CampaignError(
                 f"cell {cell.cell_id}: quiescence skipping was not active "
@@ -114,12 +141,19 @@ def run_campaign(
             )
         store.append(record)
         report.executed.append(record)
+        if profile is not None:
+            with profile.open("a") as handle:
+                handle.write(
+                    json.dumps({"cell": cell.cell_id, "seconds": round(seconds, 6)})
+                    + "\n"
+                )
         if progress is not None:
             progress(report.completed, report.total, cell.cell_id)
 
     if workers == 1 or len(pending) <= 1:
         for cell in pending:
-            finish(cell, _cell_record(cell, grid.spec_for(cell), kernel))
+            record, seconds = _cell_record_timed(cell, grid.spec_for(cell), kernel)
+            finish(cell, record, seconds)
         return report
 
     with ProcessPoolExecutor(max_workers=workers) as pool:
@@ -127,9 +161,10 @@ def run_campaign(
         # the store must receive records deterministically for the
         # byte-identity guarantee, and grid order is the natural one.
         futures = [
-            (cell, pool.submit(_cell_record, cell, grid.spec_for(cell), kernel))
+            (cell, pool.submit(_cell_record_timed, cell, grid.spec_for(cell), kernel))
             for cell in pending
         ]
         for cell, future in futures:
-            finish(cell, future.result())
+            record, seconds = future.result()
+            finish(cell, record, seconds)
     return report

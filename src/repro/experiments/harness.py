@@ -43,11 +43,20 @@ class TenantSeriesPoint:
     sampling window ending at ``minute``, so a sample reflects the whole
     window rather than the instant the sampler happened to fire.  The SLA
     layer (:mod:`repro.sla`) judges SLO compliance against these points.
+
+    ``p95_ms``/``p99_ms`` are tail quantiles of the *exact merge* of the
+    window's per-tick latency distribution summaries -- not means of
+    per-tick percentiles -- so a one-tick latency spike inside the window
+    surfaces at the tail even when the window mean hides it.  ``None`` when
+    the simulator recorded no distributions
+    (``record_latency_distributions=False`` or pre-distribution runs).
     """
 
     minute: float
     throughput: float
     latency_ms: float
+    p95_ms: float | None = None
+    p99_ms: float | None = None
 
 
 @dataclass
@@ -80,6 +89,10 @@ class StrategyRun:
     #: speedup to a controller that forgot to implement ``next_wakeup``.
     skip_active: bool = False
     skip_disabled_reason: str = ""
+    #: Whole-run latency distribution per tenant (exact merge of every tick's
+    #: summary), keyed like :attr:`tenant_series`.  Captured at finalise so
+    #: traces can serialise distributions after the simulator is disposed.
+    tenant_distributions: dict[str, object] = field(default_factory=dict)
 
     @property
     def mean_throughput(self) -> float:
@@ -122,12 +135,43 @@ class StrategyRun:
         points = self.tenant_series.get(tenant, [])
         return max((point.latency_ms for point in points), default=0.0)
 
+    def tenant_peak_percentile(self, tenant: str, percentile: int) -> float:
+        """Largest recorded p95/p99 sample of one tenant (0.0 when absent)."""
+        attr = _percentile_attr(percentile)
+        points = self.tenant_series.get(tenant, [])
+        return max(
+            (getattr(point, attr) for point in points if getattr(point, attr) is not None),
+            default=0.0,
+        )
+
+    def peak_percentile(self, percentile: int) -> float:
+        """Worst recorded p95/p99 sample across every tenant (0.0 when absent)."""
+        attr = _percentile_attr(percentile)
+        return max(
+            (
+                getattr(point, attr)
+                for points in self.tenant_series.values()
+                for point in points
+                if getattr(point, attr) is not None
+            ),
+            default=0.0,
+        )
+
     def tenant_mean_latency(self, tenant: str) -> float:
         """Mean recorded latency of one tenant (0.0 when absent)."""
         points = self.tenant_series.get(tenant, [])
         if not points:
             return 0.0
         return sum(point.latency_ms for point in points) / len(points)
+
+
+def _percentile_attr(percentile: int) -> str:
+    """The TenantSeriesPoint field carrying a recorded percentile."""
+    if percentile == 95:
+        return "p95_ms"
+    if percentile == 99:
+        return "p99_ms"
+    raise ValueError(f"only p95/p99 are recorded per sample, got p{percentile}")
 
 
 def apply_placement(simulator: ClusterSimulator, plan: PlacementPlan) -> None:
@@ -348,8 +392,21 @@ class ExperimentHarness:
             entity = f"workload:{name}"
             throughput = metrics.series(entity, "throughput").mean_between(start, now)
             latency = metrics.series(entity, "latency_ms").mean_between(start, now)
+            p95 = p99 = None
+            distribution = metrics.distribution(entity, "latency_ms")
+            if distribution is not None:
+                merged = distribution.merged_between(start, now)
+                if merged is not None:
+                    p95 = merged.quantile(0.95)
+                    p99 = merged.quantile(0.99)
             tenant_series.setdefault(name, []).append(
-                TenantSeriesPoint(minute=minute, throughput=throughput, latency_ms=latency)
+                TenantSeriesPoint(
+                    minute=minute,
+                    throughput=throughput,
+                    latency_ms=latency,
+                    p95_ms=p95,
+                    p99_ms=p99,
+                )
             )
 
     def _finalise(self) -> None:
@@ -360,6 +417,17 @@ class ExperimentHarness:
             name: self.simulator.binding_throughput(name)
             for name in self.simulator.bindings
         }
+        # Whole-run distributions survive simulator disposal on the run
+        # itself; merging is exact, so chained run_for calls can recompute
+        # from scratch without drift.  Departed tenants keep the entries
+        # recorded while they ran (the registry series outlives the binding).
+        metrics = self.simulator.metrics
+        distributions = {}
+        for name in self.run.tenant_series:
+            series = metrics.distribution(f"workload:{name}", "latency_ms")
+            if series is not None and len(series):
+                distributions[name] = series.merged()
+        self.run.tenant_distributions = distributions
 
 
 def make_backend(simulator: ClusterSimulator, provider=None) -> ClusterBackend:

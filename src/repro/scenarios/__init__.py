@@ -16,6 +16,7 @@ from repro.scenarios.assertions import (
     REMOVE_NODE,
     AssertionResult,
     CostCeiling,
+    LatencyPercentileWithin,
     LatencyWithin,
     NoOscillation,
     ReconfiguresBefore,
@@ -68,6 +69,7 @@ __all__ = [
     "DiurnalLoad",
     "EventSchedule",
     "FlashCrowd",
+    "LatencyPercentileWithin",
     "LatencyWithin",
     "MixShift",
     "NoOscillation",

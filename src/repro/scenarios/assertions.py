@@ -27,6 +27,8 @@ Vocabulary:
   ``[min_nodes, max_nodes]`` for the whole run;
 * :class:`LatencyWithin` -- one tenant's recorded latency series stays
   under a ceiling (the per-tenant quality view of :mod:`repro.sla`);
+* :class:`LatencyPercentileWithin` -- one tenant's recorded p95/p99 tail
+  (exact window-distribution quantiles) stays under a ceiling;
 * :class:`SLOViolationsBelow` -- the spec-declared SLO of a tenant accrues
   at most ``max_violation_minutes`` of violation time;
 * :class:`CostCeiling` -- the run's cost envelope under a named pricing
@@ -55,6 +57,7 @@ __all__ = [
     "RecoversWithin",
     "StaysWithin",
     "LatencyWithin",
+    "LatencyPercentileWithin",
     "SLOViolationsBelow",
     "CostCeiling",
     "controller_actions",
@@ -291,6 +294,56 @@ class LatencyWithin(ScenarioAssertion):
             worst.latency_ms <= self.ceiling_ms,
             f"peak {worst.latency_ms:.2f}ms at {worst.minute:.1f}m over "
             f"{len(points)} samples (ceiling {self.ceiling_ms:g}ms)",
+        )
+
+
+@dataclass(frozen=True)
+class LatencyPercentileWithin(ScenarioAssertion):
+    """Every recorded p95/p99 sample of ``tenant`` stays under ``ceiling_ms``.
+
+    The tail-latency counterpart of :class:`LatencyWithin`: judges the
+    per-sample quantiles the harness computes from the exact merged
+    window distributions (:class:`~repro.simulation.latency.LatencySummary`),
+    so a tenant whose *mean* stays flat while its tail spikes still fails.
+    ``percentile`` must be 95 or 99 -- the two the harness records.  Fails
+    when no sample carries distribution data -- a run built with
+    ``record_latency_distributions=False`` cannot vacuously pass a tail
+    promise.
+    """
+
+    tenant: str = ""
+    percentile: int = 95
+    ceiling_ms: float = 50.0
+    warmup_minutes: float = 1.0
+    controllers: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.percentile not in (95, 99):
+            raise ValueError(
+                f"percentile must be 95 or 99, got {self.percentile}"
+            )
+
+    def evaluate(self, result) -> AssertionResult:
+        attr = f"p{self.percentile}_ms"
+        points = [
+            p
+            for p in post_warmup_points(
+                tenant_points(result.run, self.tenant), self.warmup_minutes
+            )
+            if getattr(p, attr, None) is not None
+        ]
+        if not points:
+            return self._verdict(
+                False,
+                f"no p{self.percentile} samples recorded for tenant "
+                f"{self.tenant!r} (latency distributions disabled?)",
+            )
+        worst = max(points, key=lambda p: getattr(p, attr))
+        observed = getattr(worst, attr)
+        return self._verdict(
+            observed <= self.ceiling_ms,
+            f"peak p{self.percentile} {observed:.2f}ms at {worst.minute:.1f}m "
+            f"over {len(points)} samples (ceiling {self.ceiling_ms:g}ms)",
         )
 
 

@@ -23,6 +23,7 @@ from pathlib import Path
 
 from repro.scenarios.runner import DEFAULT_KERNEL, ScenarioRunResult, run_scenario
 from repro.scenarios.spec import ScenarioSpec
+from repro.simulation.latency import BINS_PER_DECADE, MIN_MS, WEIGHT_SCALE
 
 #: Trace schema version; bump when the shape changes and regenerate goldens.
 #: Format 2 added the ``assertions`` verdict list (scenario assertions DSL).
@@ -33,7 +34,12 @@ from repro.scenarios.spec import ScenarioSpec
 #: ``slo`` entry carries the ``unit`` its floor is declared in, and
 #: ``tenant_units`` maps every tenant binding to its native unit label
 #: (``ops/s`` for YCSB, ``tpmC`` for TPC-C).
-TRACE_FORMAT = 4
+#: Format 5 made the latency pipeline percentile-native: ``tenant_series``
+#: rows grew per-window p95/p99 columns (``null`` when distributions are
+#: disabled), and ``latency_distributions`` serialises each tenant's
+#: whole-run merged :class:`~repro.simulation.latency.LatencySummary`
+#: (sparse ``[bin, count]`` pairs plus headline quantiles).
+TRACE_FORMAT = 5
 
 #: Controllers every canned scenario is goldened under.
 GOLDEN_CONTROLLERS = ("met", "tiramola")
@@ -114,18 +120,38 @@ def result_trace(result: ScenarioRunResult) -> dict:
             }
             for verdict in result.assertions
         ],
-        # Per-tenant quality series as compact [minute, ops/s, latency-ms]
-        # rows (capped precision; see TENANT_SERIES_DECIMALS).
+        # Per-tenant quality series as compact
+        # [minute, ops/s, latency-ms, p95-ms, p99-ms] rows (capped precision;
+        # see TENANT_SERIES_DECIMALS).  The percentile columns are null when
+        # the run recorded no latency distributions.
         "tenant_series": {
             name: [
                 [
                     _round(point.minute),
                     _round_coarse(point.throughput),
                     _round_coarse(point.latency_ms),
+                    None if point.p95_ms is None else _round_coarse(point.p95_ms),
+                    None if point.p99_ms is None else _round_coarse(point.p99_ms),
                 ]
                 for point in points
             ]
             for name, points in sorted(run.tenant_series.items())
+        },
+        # Whole-run merged latency distribution per tenant: the summary's
+        # sparse integer histogram (exact, mergeable) plus headline
+        # quantiles.  Counts are integers, so this section is byte-exact
+        # across kernels; empty when distributions were disabled.
+        "latency_distributions": {
+            name: {
+                "bins_per_decade": BINS_PER_DECADE,
+                "min_ms": MIN_MS,
+                "weight_scale": WEIGHT_SCALE,
+                "counts": summary.to_pairs(),
+                "p50": _round_coarse(summary.quantile(0.50)),
+                "p95": _round_coarse(summary.quantile(0.95)),
+                "p99": _round_coarse(summary.quantile(0.99)),
+            }
+            for name, summary in sorted(run.tenant_distributions.items())
         },
         "slo": [
             {

@@ -189,6 +189,7 @@ class ClusterSimulator:
         fixed_point_max_iterations: int = DEFAULT_FIXED_POINT_ITERATIONS,
         seed: int | random.Random = 0,
         vectorize: bool | None = None,
+        record_latency_distributions: bool = True,
     ) -> None:
         if kernel not in KERNELS:
             raise SimulationError(f"unknown kernel {kernel!r}")
@@ -216,6 +217,12 @@ class ClusterSimulator:
         #: Most recent per-binding mean request latency (ms), from the same
         #: final fixed-point state as the achieved throughputs.
         self._binding_latency_ms: dict[str, float] = {}
+        #: Whether solvers build -- and the tick loop records -- per-binding
+        #: latency distribution summaries alongside the scalar means.  On by
+        #: default; pure-throughput sweeps can turn it off (PERFORMANCE.md).
+        self.record_latency_distributions = record_latency_distributions
+        #: Most recent per-binding latency summary (same solve as the means).
+        self._binding_latency_summary: dict[str, object] = {}
         #: Incremental node -> {region_id -> region} index (``None`` bucket
         #: holds unassigned regions); kept coherent by SimulatedRegion's
         #: ``node`` setter hook.
@@ -510,6 +517,7 @@ class ClusterSimulator:
         # name must seed the fixed point fresh.
         self._binding_throughput.pop(name, None)
         self._binding_latency_ms.pop(name, None)
+        self._binding_latency_summary.pop(name, None)
         self._workloads_version += 1
         self._mark_dirty()
 
@@ -608,6 +616,17 @@ class ClusterSimulator:
         """
         return self._binding_latency_ms.get(name, 0.0)
 
+    def binding_latency_summary(self, name: str):
+        """Most recent latency distribution summary of a tenant.
+
+        The :class:`~repro.simulation.latency.LatencySummary` the solver
+        built at the last tick's fixed point -- the distribution whose
+        weighted mean is :meth:`binding_latency_ms`.  ``None`` before the
+        first tick, for unknown tenants, or when distribution recording is
+        disabled.
+        """
+        return self._binding_latency_summary.get(name)
+
     def cluster_throughput(self) -> float:
         """Most recent total achieved throughput (ops/s)."""
         return sum(self._binding_throughput.values())
@@ -650,8 +669,10 @@ class ClusterSimulator:
             stats.solves += 1
         else:
             stats.reused_ticks += 1
-        throughputs, node_results, region_rates, latencies = results
-        self._apply_tick_results(dt, throughputs, node_results, region_rates, latencies)
+        throughputs, node_results, region_rates, latencies, summaries = results
+        self._apply_tick_results(
+            dt, throughputs, node_results, region_rates, latencies, summaries
+        )
         self.clock.advance(dt)
 
     # ------------------------------------------------------------------ #
@@ -734,9 +755,9 @@ class ClusterSimulator:
         # collapses to one multiply.
         for node, rate in compacting:
             node.pending_compaction_bytes -= rate * dt * ticks
-        throughputs, node_results, region_rates, latencies = results
+        throughputs, node_results, region_rates, latencies, summaries = results
         self._apply_tick_results_batch(
-            dt, ticks, throughputs, node_results, region_rates, latencies
+            dt, ticks, throughputs, node_results, region_rates, latencies, summaries
         )
         stats = self.stats
         stats.ticks += ticks
@@ -911,12 +932,14 @@ class ClusterSimulator:
         dict[str, object],
         dict[str, dict[str, float]],
         dict[str, float],
+        dict[str, object],
     ]:
         """Solve the closed-loop throughput fixed point for this tick.
 
         Returns the per-binding *achieved* throughput, the per-node model
-        results, the per-region achieved rates and the per-binding mean
-        request latency (ms) at the final state.  Achieved throughput is
+        results, the per-region achieved rates, the per-binding mean
+        request latency (ms) and the per-binding latency distribution
+        summaries at the final state.  Achieved throughput is
         work-conserving: offered load on a node is clamped to the node's
         capacity (utilisation 1.0).  The actual implementation lives in the
         kernel's :class:`~repro.simulation.solvers.SolverStrategy`.
@@ -930,6 +953,7 @@ class ClusterSimulator:
         node_results: dict[str, object],
         region_rates: dict[str, dict[str, float]],
         binding_latencies: dict[str, float] | None = None,
+        binding_summaries: dict[str, object] | None = None,
     ) -> None:
         now = self.clock.now + dt
         # Reset per-region rates before accumulating this tick's load; only
@@ -1005,6 +1029,15 @@ class ClusterSimulator:
             samples.append((node.name, "requests", node.served_ops))
             samples.append((node.name, "locality", locality))
         self.metrics.record_many(now, samples)
+        if binding_summaries and self.record_latency_distributions:
+            self._binding_latency_summary = binding_summaries
+            self.metrics.record_distributions(
+                now,
+                [
+                    (f"workload:{name}", "latency_ms", summary)
+                    for name, summary in binding_summaries.items()
+                ],
+            )
 
     def _apply_tick_results_batch(
         self,
@@ -1014,6 +1047,7 @@ class ClusterSimulator:
         node_results: dict[str, object],
         region_rates: dict[str, dict[str, float]],
         binding_latencies: dict[str, float] | None = None,
+        binding_summaries: dict[str, object] | None = None,
     ) -> None:
         """Apply one cached tick result ``ticks`` times in one pass.
 
@@ -1107,6 +1141,19 @@ class ClusterSimulator:
             now = now + dt
             timestamps.append(now)
         self.metrics.record_many_repeated(timestamps, samples)
+        if binding_summaries and self.record_latency_distributions:
+            # The same frozen summary object is appended at every timestamp:
+            # a window merge over the span adds its integer counts k times,
+            # bit-identical to the k per-tick summaries individual ticks
+            # would have recorded (see LatencySummary.scale).
+            self._binding_latency_summary = binding_summaries
+            self.metrics.record_distributions_repeated(
+                timestamps,
+                [
+                    (f"workload:{name}", "latency_ms", summary)
+                    for name, summary in binding_summaries.items()
+                ],
+            )
 
 
 def _size_weighted_locality(hosted: list[SimulatedRegion]) -> float:

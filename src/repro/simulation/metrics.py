@@ -5,6 +5,13 @@ samples with simple aggregation helpers.  A :class:`MetricsRegistry` groups
 series by ``(entity, metric)`` so the monitoring layer can pull e.g. the CPU
 utilisation history of a node or the cumulative operation count of the
 cluster.
+
+Alongside the scalar channels the registry keeps *distribution* channels: a
+:class:`DistributionSeries` is the same append-only shape but each sample is
+a mergeable summary object (the simulator records one
+:class:`~repro.simulation.latency.LatencySummary` per tenant per tick).
+Window aggregation merges instead of averaging, so the SLA layer can ask
+for the exact latency distribution of any half-open sampling window.
 """
 
 from __future__ import annotations
@@ -107,11 +114,63 @@ class MetricSeries:
         return out
 
 
+@dataclass
+class DistributionSeries:
+    """Append-only (timestamp, summary) series of mergeable distributions.
+
+    Values are summary objects exposing ``merge(other)`` and a no-argument
+    constructor (duck-typed so this module stays independent of the latency
+    module); the event kernel's macro-tick appends the *same* frozen summary
+    object at many timestamps, which window merges treat identically to the
+    per-tick fresh summaries the fast kernel records.
+    """
+
+    name: str
+    timestamps: list[float] = field(default_factory=list)
+    values: list = field(default_factory=list)
+
+    def record(self, timestamp: float, summary) -> None:
+        """Append a sample; timestamps must be non-decreasing."""
+        if self.timestamps and timestamp < self.timestamps[-1]:
+            raise ValueError(
+                f"samples must be appended in time order: {timestamp} < {self.timestamps[-1]}"
+            )
+        self.timestamps.append(timestamp)
+        self.values.append(summary)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def window(self, start: float, end: float) -> list:
+        """Summaries with ``start < timestamp <= end`` (half-open, like
+        :meth:`MetricSeries.window`)."""
+        lo = bisect_right(self.timestamps, start)
+        hi = bisect_right(self.timestamps, end)
+        return self.values[lo:hi]
+
+    def merged_between(self, start: float, end: float):
+        """Exact merge of the window's summaries (``None`` when empty)."""
+        entries = self.window(start, end)
+        if not entries:
+            return None
+        out = type(entries[0])()
+        for summary in entries:
+            out.merge(summary)
+        return out
+
+    def merged(self):
+        """Exact merge of the whole series (``None`` when empty)."""
+        if not self.values:
+            return None
+        return self.merged_between(float("-inf"), self.timestamps[-1])
+
+
 class MetricsRegistry:
     """Groups metric series by entity and metric name."""
 
     def __init__(self) -> None:
         self._series: dict[tuple[str, str], MetricSeries] = {}
+        self._distributions: dict[tuple[str, str], DistributionSeries] = {}
 
     def series(self, entity: str, metric: str) -> MetricSeries:
         """Return (creating if needed) the series for ``entity``/``metric``."""
@@ -177,6 +236,66 @@ class MetricsRegistry:
             existing.extend(timestamps)
             series.values.extend([float(value)] * count)
 
+    def distribution_series(self, entity: str, metric: str) -> DistributionSeries:
+        """Return (creating if needed) the distribution series for a key."""
+        key = (entity, metric)
+        if key not in self._distributions:
+            self._distributions[key] = DistributionSeries(name=f"{entity}.{metric}")
+        return self._distributions[key]
+
+    def distribution(self, entity: str, metric: str) -> DistributionSeries | None:
+        """The distribution series for a key, or ``None`` when never recorded."""
+        return self._distributions.get((entity, metric))
+
+    def record_distributions(
+        self, timestamp: float, samples: Iterable[tuple[str, str, object]]
+    ) -> None:
+        """Record many ``(entity, metric, summary)`` samples at one timestamp."""
+        series_map = self._distributions
+        for entity, metric, summary in samples:
+            key = (entity, metric)
+            series = series_map.get(key)
+            if series is None:
+                series = series_map[key] = DistributionSeries(name=f"{entity}.{metric}")
+            timestamps = series.timestamps
+            if timestamps and timestamp < timestamps[-1]:
+                raise ValueError(
+                    f"samples must be appended in time order: {timestamp} < {timestamps[-1]}"
+                )
+            timestamps.append(timestamp)
+            series.values.append(summary)
+
+    def record_distributions_repeated(
+        self,
+        timestamps: list[float],
+        samples: Iterable[tuple[str, str, object]],
+    ) -> None:
+        """Record the same ``(entity, metric, summary)`` batch at many times.
+
+        Distribution analogue of :meth:`record_many_repeated` for the event
+        kernel's macro-tick: the *same* summary object is appended at every
+        timestamp (references, not copies), so a window merge over the span
+        is bit-identical to merging the per-tick summaries ``len(timestamps)``
+        individual ticks would have recorded.
+        """
+        if not timestamps:
+            return
+        count = len(timestamps)
+        first = timestamps[0]
+        series_map = self._distributions
+        for entity, metric, summary in samples:
+            key = (entity, metric)
+            series = series_map.get(key)
+            if series is None:
+                series = series_map[key] = DistributionSeries(name=f"{entity}.{metric}")
+            existing = series.timestamps
+            if existing and first < existing[-1]:
+                raise ValueError(
+                    f"samples must be appended in time order: {first} < {existing[-1]}"
+                )
+            existing.extend(timestamps)
+            series.values.extend([summary] * count)
+
     def entities(self) -> list[str]:
         """Distinct entity names with at least one series."""
         return sorted({entity for entity, _ in self._series})
@@ -196,6 +315,8 @@ class MetricsRegistry:
         """Remove all series belonging to ``entity`` (e.g. a removed node)."""
         for key in [key for key in self._series if key[0] == entity]:
             del self._series[key]
+        for key in [key for key in self._distributions if key[0] == entity]:
+            del self._distributions[key]
 
     def items(self) -> Iterable[tuple[tuple[str, str], MetricSeries]]:
         """All ``((entity, metric), series)`` pairs."""

@@ -2,7 +2,8 @@
 
 The simulator's tick loop needs, per tick, the closed-loop throughput fixed
 point: per-binding achieved throughput, per-node model results, per-region
-achieved rates and per-binding mean latency.  Three strategies produce it:
+achieved rates, per-binding mean latency and per-binding latency
+distribution summaries.  Three strategies produce it:
 
 * :class:`ReferenceSolver` -- the seed behaviour: full region scans, fresh
   allocations and a fixed iteration count.  Baseline for benchmarks and the
@@ -32,6 +33,7 @@ from __future__ import annotations
 from operator import attrgetter
 
 from repro.simulation.hardware import MB
+from repro.simulation.latency import LatencySummary, bin_index, quantise_weight
 from repro.simulation.perfmodel import (
     CPU_READ_HIT_MS,
     CPU_READ_MISS_MS,
@@ -83,13 +85,68 @@ _R_CPU_BASE = CPU_RPC_OVERHEAD_MS + CPU_READ_HIT_MS
 _R_CPU_MISS_DELTA = CPU_READ_MISS_MS - CPU_READ_HIT_MS
 
 #: The solver result tuple: (achieved throughputs, node results,
-#: region rates, binding latencies).
+#: region rates, binding latencies, binding latency summaries).
 SolveResult = tuple[
     dict[str, float],
     dict[str, object],
     dict[str, dict[str, float]],
     dict[str, float],
+    dict[str, LatencySummary],
 ]
+
+#: Latency (ms) charged to requests against an unavailable region (node
+#: restarting): requests block and retry.  Mirrors the scalar kernels'
+#: inline ``weight * 500.0`` term.
+UNAVAILABLE_MS = 500.0
+
+
+def binding_summaries(
+    bindings: dict,
+    region_node: dict[str, str | None],
+    node_latencies: dict[str, dict[str, float]],
+) -> dict[str, LatencySummary]:
+    """Per-binding latency distributions at one solved fixed point.
+
+    Shared by all three kernels so the distribution channel cannot drift
+    between them: each kernel hands over its final per-node per-op latency
+    dicts and the region->node map, and the atoms recorded here are exactly
+    the ``region_weight * op_fraction`` terms of the scalar mean -- the
+    summary's weighted mean and ``binding_latency`` agree by construction,
+    while the summary keeps the shape the mean throws away.
+
+    Latencies are binned once per node (every region of a node shares its
+    latency dict), so cost is O(nodes * ops + bindings * regions * ops)
+    integer work per solve.
+    """
+    node_bins: dict[str, dict[str, int]] = {}
+    sentinel_bin = bin_index(UNAVAILABLE_MS)
+    fallback_bin = bin_index(1.0)  # unknown op: binding_latency's 1.0 ms default
+    summaries: dict[str, LatencySummary] = {}
+    for name, binding in bindings.items():
+        summary = LatencySummary()
+        counts = summary.counts
+        mix = binding.op_mix.items()
+        for region_id, weight in binding.region_weights.items():
+            node_name = region_node.get(region_id)
+            if node_name is None:
+                for _, fraction in mix:
+                    count = quantise_weight(weight * fraction)
+                    if count:
+                        counts[sentinel_bin] = counts.get(sentinel_bin, 0) + count
+                continue
+            bins = node_bins.get(node_name)
+            if bins is None:
+                bins = node_bins[node_name] = {
+                    op: bin_index(value)
+                    for op, value in node_latencies[node_name].items()
+                }
+            for op, fraction in mix:
+                index = bins.get(op, fallback_bin)
+                count = quantise_weight(weight * fraction)
+                if count:
+                    counts[index] = counts.get(index, 0) + count
+        summaries[name] = summary
+    return summaries
 
 
 class SolverStrategy:
@@ -171,11 +228,13 @@ class ReferenceSolver(SolverStrategy):
         return offered
 
     def _evaluate_nodes(self, offered, compaction_bg):
-        """Evaluate online nodes; returns results, region latencies and scales."""
+        """Evaluate online nodes; returns results, region latencies, scales
+        and the region -> hosting-node map of the evaluated assignment."""
         sim = self._sim
         node_results: dict[str, object] = {}
         region_latencies: dict[str, dict[str, float]] = {}
         region_scale: dict[str, float] = {}
+        region_node: dict[str, str] = {}
         for node in sim.nodes.values():
             if not node.online:
                 continue
@@ -188,7 +247,8 @@ class ReferenceSolver(SolverStrategy):
             for profile in profiles:
                 region_latencies[profile.region_id] = result.per_op_latency_ms
                 region_scale[profile.region_id] = scale
-        return node_results, region_latencies, region_scale
+                region_node[profile.region_id] = node.name
+        return node_results, region_latencies, region_scale, region_node
 
     def solve(self, compaction_bg: dict[str, float], iterations: int = 10) -> SolveResult:
         sim = self._sim
@@ -199,7 +259,7 @@ class ReferenceSolver(SolverStrategy):
         region_latencies: dict[str, dict[str, float]] = {}
         for _ in range(iterations):
             offered = self._offered_rates(throughputs)
-            _, region_latencies, _ = self._evaluate_nodes(offered, compaction_bg)
+            _, region_latencies, _, _ = self._evaluate_nodes(offered, compaction_bg)
             new_throughputs: dict[str, float] = {}
             for name, binding in sim.bindings.items():
                 latency = binding.mean_latency(region_latencies)
@@ -209,8 +269,8 @@ class ReferenceSolver(SolverStrategy):
             throughputs = new_throughputs
 
         offered = self._offered_rates(throughputs)
-        node_results, region_latencies, region_scale = self._evaluate_nodes(
-            offered, compaction_bg
+        node_results, region_latencies, region_scale, region_node = (
+            self._evaluate_nodes(offered, compaction_bg)
         )
         achieved: dict[str, float] = {}
         region_rates: dict[str, dict[str, float]] = {}
@@ -225,7 +285,15 @@ class ReferenceSolver(SolverStrategy):
                 total += load.total * scale
             achieved[name] = total
             binding_latencies[name] = binding.mean_latency(region_latencies)
-        return achieved, node_results, region_rates, binding_latencies
+        if getattr(sim, "record_latency_distributions", True):
+            summaries = binding_summaries(
+                sim.bindings,
+                region_node,
+                {name: result.per_op_latency_ms for name, result in node_results.items()},
+            )
+        else:
+            summaries = {}
+        return achieved, node_results, region_rates, binding_latencies, summaries
 
 
 # --------------------------------------------------------------------- #
@@ -447,7 +515,11 @@ class FastSolver(SolverStrategy):
                     load_total += rate
                 total += load_total * scale
             achieved[name] = total
-        return achieved, node_results, region_rates, binding_latencies
+        if getattr(sim, "record_latency_distributions", True):
+            summaries = binding_summaries(bindings, region_node, final_latencies)
+        else:
+            summaries = {}
+        return achieved, node_results, region_rates, binding_latencies, summaries
 
 
 # --------------------------------------------------------------------- #
@@ -1099,7 +1171,18 @@ class EventSolver(FastSolver):
                     load_total += rate
                 total += load_total * scale
             achieved[name] = total
-        return achieved, node_results, region_rates, binding_latencies
+        if getattr(sim, "record_latency_distributions", True):
+            # The NodeLoadResult latency dicts above are built from the same
+            # ``lat`` matrix the scalar path would produce, so the summary
+            # helper sees identical floats on both event-solve paths.
+            summaries = binding_summaries(
+                bindings,
+                region_node,
+                {name: result.per_op_latency_ms for name, result in node_results.items()},
+            )
+        else:
+            summaries = {}
+        return achieved, node_results, region_rates, binding_latencies, summaries
 
 
 def make_solver(kernel: str, simulator, vectorize: bool | None = None) -> SolverStrategy:

@@ -34,6 +34,10 @@ class ScorecardRow:
     cost: float
     machine_minutes: float
     assertions_passed: bool
+    #: Worst per-sample tail latency across all tenants (0.0 when the run
+    #: recorded no latency distributions).
+    p95_ms: float = 0.0
+    p99_ms: float = 0.0
 
 
 def scorecard_row(result, pricing: PricingModel | None = None) -> ScorecardRow:
@@ -49,6 +53,8 @@ def scorecard_row(result, pricing: PricingModel | None = None) -> ScorecardRow:
         cost=envelope.total if envelope is not None else 0.0,
         machine_minutes=result.run.machine_minutes,
         assertions_passed=result.assertions_passed,
+        p95_ms=result.run.peak_percentile(95),
+        p99_ms=result.run.peak_percentile(99),
     )
 
 
@@ -103,6 +109,8 @@ def render_scorecard(rows: list[ScorecardRow]) -> str:
         columns=[
             ("ops/s", lambda row: f"{row.mean_throughput:,.0f}"),
             ("viol-min", lambda row: f"{row.violation_minutes:.1f}"),
+            ("p95-ms", lambda row: f"{row.p95_ms:.2f}"),
+            ("p99-ms", lambda row: f"{row.p99_ms:.2f}"),
             ("cost", lambda row: f"{row.cost:.3f}"),
             ("mach-min", lambda row: f"{row.machine_minutes:.1f}"),
             ("ok", lambda row: "yes" if row.assertions_passed else "NO"),

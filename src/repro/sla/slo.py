@@ -37,12 +37,17 @@ class SLODefinition:
     """What one tenant was promised.
 
     ``latency_ceiling_ms`` bounds the tenant's mean request latency per
-    sampling window; ``throughput_floor`` guarantees a minimum achieved
-    rate, declared in ``unit`` -- the simulator's ``"ops/s"`` by default,
-    or a tenant's native unit (``"tpmC"`` for TPC-C; see
-    :mod:`repro.sla.units`), in which case each observed sample is
-    converted before judging.  Either bound may be ``None``; at least one
-    must be set.  ``warmup_minutes`` exempts the tenant's cold start --
+    sampling window; ``p95_ceiling_ms``/``p99_ceiling_ms`` bound the tail
+    of the window's latency *distribution* (the exact merged
+    :class:`~repro.simulation.latency.LatencySummary` quantiles the harness
+    records per sample -- a promise a window mean cannot express);
+    ``throughput_floor`` guarantees a minimum achieved rate, declared in
+    ``unit`` -- the simulator's ``"ops/s"`` by default, or a tenant's
+    native unit (``"tpmC"`` for TPC-C; see :mod:`repro.sla.units`), in
+    which case each observed sample is converted before judging.  Any bound
+    may be ``None``; at least one must be set.  Percentile bounds are
+    always in milliseconds (the unit registry only governs throughput
+    floors).  ``warmup_minutes`` exempts the tenant's cold start --
     closed-loop throughput ramps from the solver's seed during its first
     samples, and an SLO should judge steady-state service, not the
     simulator warming up.  The warmup is measured from the start of the
@@ -56,15 +61,28 @@ class SLODefinition:
     throughput_floor: float | None = None
     warmup_minutes: float = 1.0
     unit: str = OPS_PER_SECOND
+    p95_ceiling_ms: float | None = None
+    p99_ceiling_ms: float | None = None
 
     def __post_init__(self) -> None:
-        if self.latency_ceiling_ms is None and self.throughput_floor is None:
+        bounds = (
+            self.latency_ceiling_ms,
+            self.p95_ceiling_ms,
+            self.p99_ceiling_ms,
+            self.throughput_floor,
+        )
+        if all(bound is None for bound in bounds):
             raise ValueError(
-                f"SLO for tenant {self.tenant!r} needs a latency ceiling "
-                "and/or a throughput floor"
+                f"SLO for tenant {self.tenant!r} needs a latency/percentile "
+                "ceiling and/or a throughput floor"
             )
-        if self.latency_ceiling_ms is not None and self.latency_ceiling_ms <= 0:
-            raise ValueError("latency ceiling must be positive")
+        for label, ceiling in (
+            ("latency", self.latency_ceiling_ms),
+            ("p95", self.p95_ceiling_ms),
+            ("p99", self.p99_ceiling_ms),
+        ):
+            if ceiling is not None and ceiling <= 0:
+                raise ValueError(f"{label} ceiling must be positive")
         if self.throughput_floor is not None and self.throughput_floor < 0:
             raise ValueError("throughput floor must be non-negative")
         # Reject unknown units at declaration time, not at evaluation time:
@@ -72,10 +90,14 @@ class SLODefinition:
         to_native_rate(self.unit, 0.0)
 
     def describe(self) -> str:
-        """Canonical one-line rendering, e.g. ``A: latency<=40ms``."""
+        """Canonical one-line rendering, e.g. ``A: latency<=40ms p95<=60ms``."""
         bounds = []
         if self.latency_ceiling_ms is not None:
             bounds.append(f"latency<={self.latency_ceiling_ms:g}ms")
+        if self.p95_ceiling_ms is not None:
+            bounds.append(f"p95<={self.p95_ceiling_ms:g}ms")
+        if self.p99_ceiling_ms is not None:
+            bounds.append(f"p99<={self.p99_ceiling_ms:g}ms")
         if self.throughput_floor is not None:
             bounds.append(f"throughput>={self.throughput_floor:g}{self.unit}")
         return f"{self.tenant}: " + " ".join(bounds)
@@ -86,7 +108,7 @@ class SLOViolation:
     """One sample that broke the promise."""
 
     minute: float
-    kind: str  # "latency" or "throughput"
+    kind: str  # "latency", "p95", "p99" or "throughput"
     observed: float
     bound: float
 
@@ -170,13 +192,20 @@ def evaluate_slo(slo: SLODefinition, run, sample_minutes: float = 1.0) -> SLORep
 
     ``sample_minutes`` is the wall-clock weight of one recorded sample (the
     harness default samples once a minute); violation-minutes scale with it.
-    A sample out of SLO counts **once** even when it breaches both bounds
-    of a dual-bound SLO -- violation-minutes measure time out of SLO, not
-    bounds broken -- with latency taking precedence in the per-kind
-    breakdown (a saturated tenant usually breaches both, and latency is
-    the tenant-visible symptom).  A tenant with no recorded series produces
-    an empty, satisfied report -- the caller declared an SLO for a tenant
-    that never ran, which the scenario-level assertions surface separately.
+    A sample out of SLO counts **once** even when it breaches several bounds
+    of a multi-bound SLO -- violation-minutes measure time out of SLO, not
+    bounds broken -- with mean latency, then p95, then p99 taking precedence
+    over throughput in the per-kind breakdown (a saturated tenant usually
+    breaches several, and latency is the tenant-visible symptom).  A tenant
+    with no recorded series produces an empty, satisfied report -- the
+    caller declared an SLO for a tenant that never ran, which the
+    scenario-level assertions surface separately.
+
+    Percentile ceilings judge the sample's recorded window-distribution
+    quantiles (``point.p95_ms``/``point.p99_ms``).  A percentile ceiling
+    against a run whose harness recorded no latency distributions is a
+    declaration error, not a pass: it raises ``ValueError`` instead of
+    silently judging nothing.
 
     Throughput floors declared in a native unit (``unit="tpmC"``) convert
     each observed ops/s sample into that unit before comparing, and the
@@ -184,6 +213,17 @@ def evaluate_slo(slo: SLODefinition, run, sample_minutes: float = 1.0) -> SLORep
     """
     points = post_warmup_points(tenant_points(run, slo.tenant), slo.warmup_minutes)
     violations: list[SLOViolation] = []
+
+    def percentile_observed(point, percentile: int) -> float:
+        observed = getattr(point, f"p{percentile}_ms", None)
+        if observed is None:
+            raise ValueError(
+                f"SLO for tenant {slo.tenant!r} declares a p{percentile} ceiling "
+                "but the run recorded no latency distributions (was the "
+                "simulator built with record_latency_distributions=False?)"
+            )
+        return observed
+
     for point in points:
         if (
             slo.latency_ceiling_ms is not None
@@ -195,6 +235,30 @@ def evaluate_slo(slo: SLODefinition, run, sample_minutes: float = 1.0) -> SLORep
                     kind="latency",
                     observed=point.latency_ms,
                     bound=slo.latency_ceiling_ms,
+                )
+            )
+        elif (
+            slo.p95_ceiling_ms is not None
+            and percentile_observed(point, 95) > slo.p95_ceiling_ms
+        ):
+            violations.append(
+                SLOViolation(
+                    minute=point.minute,
+                    kind="p95",
+                    observed=point.p95_ms,
+                    bound=slo.p95_ceiling_ms,
+                )
+            )
+        elif (
+            slo.p99_ceiling_ms is not None
+            and percentile_observed(point, 99) > slo.p99_ceiling_ms
+        ):
+            violations.append(
+                SLOViolation(
+                    minute=point.minute,
+                    kind="p99",
+                    observed=point.p99_ms,
+                    bound=slo.p99_ceiling_ms,
                 )
             )
         elif slo.throughput_floor is not None:

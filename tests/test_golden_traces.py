@@ -155,6 +155,17 @@ class TestGoldenTraces:
         for trace in (fast, reference):
             for verdict in trace["assertions"]:
                 verdict.pop("detail")
+        # Percentile columns and the histogram section are bin-granular
+        # (~12% per bin): a benign 1e-6 float divergence that lands a value
+        # on the far side of a bin edge shifts them a whole bin, far past
+        # any fair float tolerance.  Drop them here -- event-vs-fast byte
+        # identity of the full distributions is locked down by the soak.
+        for trace in (fast, reference):
+            trace.pop("latency_distributions")
+            trace["tenant_series"] = {
+                name: [row[:3] for row in rows]
+                for name, rows in trace["tenant_series"].items()
+            }
         # Tenant series are serialised at capped precision, where a benign
         # kernel divergence can flip a rounding boundary; compare them
         # separately at rounding-step tolerance.
@@ -267,7 +278,14 @@ class TestCatalogCoverage:
             )
             for name, rows in golden["tenant_series"].items():
                 assert rows, f"{scenario}/{controller}: empty series for {name}"
-                assert all(len(row) == 3 for row in rows)
+                # [minute, ops/s, latency, p95, p99]; the percentile columns
+                # are null only when distributions were disabled, which a
+                # golden run never does.
+                assert all(len(row) == 5 for row in rows)
+                assert all(row[3] is not None and row[4] is not None for row in rows)
+                assert name in golden["latency_distributions"], (
+                    f"{scenario}/{controller}: no merged distribution for {name}"
+                )
             assert golden["cost"]["pricing"], f"{scenario}/{controller}: no pricing"
             assert golden["cost"]["total"] > 0.0
             # The billing ledger covers at least the node-online time the
@@ -292,6 +310,33 @@ class TestCatalogCoverage:
         assert len(bounded) >= 6, (
             f"only {sorted(bounded)} declare SLO/cost expectations"
         )
+
+    def test_catalog_declares_percentile_slos(self):
+        """At least three scenarios promise tail latency, under both
+        controllers, and their LatencyPercentileWithin verdicts are
+        serialised (and pass) in the goldens."""
+        declared = set()
+        for scenario, controller in COMBOS:
+            golden = _load_golden(scenario, controller)
+            has_slo = any(
+                "p95<=" in entry["slo"] or "p99<=" in entry["slo"]
+                for entry in golden["slo"]
+            )
+            has_verdict = any(
+                verdict["assertion"].startswith("LatencyPercentileWithin")
+                for verdict in golden["assertions"]
+            )
+            if has_slo and has_verdict:
+                declared.add((scenario, controller))
+        scenarios = {scenario for scenario, _ in declared}
+        assert len(scenarios) >= 3, (
+            f"only {sorted(scenarios)} declare percentile SLOs with verdicts"
+        )
+        for scenario in scenarios:
+            for controller in GOLDEN_CONTROLLERS:
+                assert (scenario, controller) in declared, (
+                    f"{scenario} lacks percentile coverage under {controller}"
+                )
 
     def test_slo_verdicts_visible_in_goldens(self):
         """Somewhere in the catalog an SLO actually accrues violation-minutes

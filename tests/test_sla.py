@@ -22,6 +22,7 @@ from repro.experiments.reporting import format_matchup
 from repro.scenarios import (
     CANNED_SCENARIOS,
     CostCeiling,
+    LatencyPercentileWithin,
     LatencyWithin,
     SLOViolationsBelow,
     TraceFormatError,
@@ -52,16 +53,29 @@ def make_run(tenant="workload-A", points=()):
 
 class TestSLODefinition:
     def test_requires_some_bound(self):
-        with pytest.raises(ValueError, match="latency ceiling and/or"):
+        with pytest.raises(ValueError, match="ceiling and/or"):
             SLODefinition(tenant="A")
 
     def test_rejects_nonpositive_ceiling(self):
         with pytest.raises(ValueError, match="positive"):
             SLODefinition(tenant="A", latency_ceiling_ms=0.0)
 
+    def test_rejects_nonpositive_percentile_ceiling(self):
+        with pytest.raises(ValueError, match="p99 ceiling must be positive"):
+            SLODefinition(tenant="A", p99_ceiling_ms=-1.0)
+
+    def test_percentile_ceiling_alone_is_a_valid_bound(self):
+        assert SLODefinition(tenant="A", p95_ceiling_ms=5.0).p95_ceiling_ms == 5.0
+
     def test_describe_lists_bounds(self):
         slo = SLODefinition(tenant="A", latency_ceiling_ms=40.0, throughput_floor=100.0)
         assert slo.describe() == "A: latency<=40ms throughput>=100ops/s"
+
+    def test_describe_lists_percentile_bounds(self):
+        slo = SLODefinition(
+            tenant="A", latency_ceiling_ms=40.0, p95_ceiling_ms=60.0, p99_ceiling_ms=80.0
+        )
+        assert slo.describe() == "A: latency<=40ms p95<=60ms p99<=80ms"
 
 
 class TestEvaluateSLO:
@@ -109,6 +123,42 @@ class TestEvaluateSLO:
         report = evaluate_slo(slo, run)
         assert [v.kind for v in report.violations] == ["throughput"]
         assert report.violations[0].observed == 400.0
+
+    def test_percentile_ceiling_judges_recorded_quantiles(self):
+        run = make_run(
+            points=[
+                (1.0, 900.0, 10.0, 12.0, 15.0),
+                (2.0, 900.0, 10.0, 12.0, 15.0),
+                (3.0, 900.0, 10.0, 70.0, 90.0),
+            ]
+        )
+        report = evaluate_slo(SLODefinition(tenant="A", p95_ceiling_ms=50.0), run)
+        assert [(v.minute, v.kind, v.observed) for v in report.violations] == [
+            (3.0, "p95", 70.0)
+        ]
+        report = evaluate_slo(SLODefinition(tenant="A", p99_ceiling_ms=50.0), run)
+        assert [v.kind for v in report.violations] == ["p99"]
+        assert report.violations[0].observed == 90.0
+
+    def test_percentile_precedence_mean_then_p95_then_p99(self):
+        # One sample breaching every bound counts once, under the most
+        # tenant-visible kind that broke: mean latency, then p95, then p99.
+        run = make_run(points=[(1.0, 900.0, 1.0, 1.0, 1.0), (2.0, 900.0, 99.0, 99.0, 99.0)])
+        slo = SLODefinition(
+            tenant="A", latency_ceiling_ms=50.0, p95_ceiling_ms=50.0, p99_ceiling_ms=50.0
+        )
+        report = evaluate_slo(slo, run)
+        assert [v.kind for v in report.violations] == ["latency"]
+        tail_only = SLODefinition(tenant="A", p95_ceiling_ms=50.0, p99_ceiling_ms=50.0)
+        assert [v.kind for v in evaluate_slo(tail_only, run).violations] == ["p95"]
+
+    def test_percentile_ceiling_without_distributions_raises(self):
+        # 3-tuple points carry no recorded quantiles -- judging a tail
+        # promise against them must fail loudly, not pass vacuously.
+        run = make_run(points=[(1.0, 900.0, 10.0), (2.0, 900.0, 10.0)])
+        slo = SLODefinition(tenant="A", p95_ceiling_ms=50.0)
+        with pytest.raises(ValueError, match="recorded no latency distributions"):
+            evaluate_slo(slo, run)
 
     def test_sample_minutes_scale_violation_minutes(self):
         run = make_run(points=[(1.0, 900.0, 10.0), (2.0, 900.0, 99.0)])
@@ -254,6 +304,35 @@ class TestSLAAssertions:
         assert not verdict.passed
         assert "no latency samples" in verdict.detail
 
+    def test_latency_percentile_within_passes_and_fails(self):
+        run = make_run(
+            points=[(1.0, 900.0, 10.0, 12.0, 15.0), (2.0, 900.0, 10.0, 30.0, 45.0)]
+        )
+        result = SimpleNamespace(run=run)
+        assert LatencyPercentileWithin(tenant="A", ceiling_ms=35.0).evaluate(result).passed
+        verdict = LatencyPercentileWithin(tenant="A", ceiling_ms=20.0).evaluate(result)
+        assert not verdict.passed
+        assert "peak p95 30.00ms" in verdict.detail
+        verdict = LatencyPercentileWithin(
+            tenant="A", percentile=99, ceiling_ms=40.0
+        ).evaluate(result)
+        assert not verdict.passed
+        assert "peak p99 45.00ms" in verdict.detail
+
+    def test_latency_percentile_within_rejects_unrecorded_percentiles(self):
+        with pytest.raises(ValueError, match="percentile must be 95 or 99"):
+            LatencyPercentileWithin(tenant="A", percentile=50)
+
+    def test_latency_percentile_within_fails_without_distributions(self):
+        # Samples exist but carry no quantiles (distributions disabled):
+        # a tail promise must not pass vacuously.
+        run = make_run(points=[(1.0, 900.0, 10.0), (2.0, 900.0, 10.0)])
+        verdict = LatencyPercentileWithin(tenant="A", ceiling_ms=35.0).evaluate(
+            SimpleNamespace(run=run)
+        )
+        assert not verdict.passed
+        assert "no p95 samples" in verdict.detail
+
     def test_slo_violations_below_reads_spec_reports(self):
         run = make_run(points=[(1.0, 900.0, 10.0), (2.0, 900.0, 60.0), (3.0, 900.0, 10.0)])
         report = evaluate_slo(SLODefinition(tenant="A", latency_ceiling_ms=50.0), run)
@@ -373,6 +452,13 @@ class TestTraceBackCompat:
     def test_format2_fixture_fails_with_regenerate_hint(self):
         fixture = FIXTURES / "flash_crowd__met.format2.json"
         with pytest.raises(TraceFormatError, match="regenerate goldens"):
+            load_trace(fixture)
+
+    def test_format4_fixture_fails_with_regenerate_hint(self):
+        # A pre-percentile golden (scalar-mean tenant series, no
+        # latency_distributions section) is stale, not subtly drifted.
+        fixture = FIXTURES / "flash_crowd__met.format4.json"
+        with pytest.raises(TraceFormatError, match="format 4.*regenerate goldens"):
             load_trace(fixture)
 
     def test_current_goldens_load(self):
