@@ -5,8 +5,9 @@ Composes two stimulus families into one custom scenario -- phase-shifted
 day/night sinusoids on two tenants, plus a node crash in the middle of
 tenant A's peak -- and runs it under MeT, printing the annotated time
 series with the per-tenant latency view.  Then runs the *whole* canned
-catalog under both controllers and prints the MeT-vs-Tiramola scorecard:
-SLO violation-minutes, run cost and throughput, side by side (the
+catalog under all three controllers -- MeT, Tiramola, and the
+calibration-driven planner -- and prints the scorecard: SLO
+violation-minutes, run cost and throughput, side by side (the
 quality-per-dollar comparison of the paper's Section 6.4, generalised).
 
 Run with:  PYTHONPATH=src python examples/scenario_gallery.py
@@ -93,10 +94,10 @@ def main() -> None:
         verdict = "held" if report.satisfied else "BROKEN"
         print(f"  slo {report.slo.describe():34s} {verdict}")
 
-    print("\nMeT vs Tiramola scorecard (full catalog):")
-    rows = scenario_scorecard()
+    print("\nMeT vs Tiramola vs planner scorecard (full catalog):")
+    rows = scenario_scorecard(controllers=("met", "tiramola", "planner"))
     print(render_scorecard(rows))
-    for controller in ("met", "tiramola"):
+    for controller in ("met", "tiramola", "planner"):
         mine = [row for row in rows if row.controller == controller]
         print(
             f"  {controller:9s} totals: "

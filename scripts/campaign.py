@@ -12,8 +12,9 @@ The store is resumable: re-running the same command skips every completed
 cell, so an interrupted campaign finishes from where it stopped.  Useful
 modes::
 
-    --smoke            tiny 2x2x1 grid on 2 workers (the CI signal); prints
-                       the table and exits non-zero on any failed assertion
+    --smoke            tiny 2x3x1 grid on 2 workers (the CI signal; all
+                       three controllers incl. the planner); prints the
+                       table and exits non-zero on any failed assertion
     --bench            times the grid serially and on the pool into throwaway
                        stores and writes BENCH_campaign.json at the repo root
     --scales 1.0,1.5   adds scale points (load multipliers) to the grid
@@ -46,6 +47,9 @@ from repro.scenarios import CANNED_SCENARIOS  # noqa: E402
 from repro.scenarios.runner import DEFAULT_KERNEL  # noqa: E402
 
 SMOKE_SCENARIOS = ("diurnal", "flash_crowd")
+# Smoke exercises every controller the scorecard compares, not just the
+# paper's pair: a planner regression should fail CI's cheapest signal.
+SMOKE_CONTROLLERS = "met,tiramola,planner"
 
 
 def parse_scales(raw: str, tenant_copies: int) -> tuple[ScaleSpec, ...]:
@@ -198,13 +202,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="CI mode: 2 scenarios x 2 controllers x 1 seed on 2 workers, "
+        help="CI mode: 2 scenarios x 3 controllers x 1 seed on 2 workers, "
         "temp store, fails on any failed scenario assertion",
     )
     args = parser.parse_args(argv)
 
     if args.smoke:
         args.scenarios = args.scenarios or list(SMOKE_SCENARIOS)
+        if args.controllers == parser.get_default("controllers"):
+            args.controllers = SMOKE_CONTROLLERS
         args.seeds = 1
         args.workers = min(args.workers, 2)
 

@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Size a cluster for a target rate and SLO, and price the options.
+
+Answers the capacity question the controllers answer reactively, but ahead
+of time: "what does it take to serve N ops/s (or tpmC) under a p99
+ceiling, and what does each option cost per month?"  The engine is the
+planner package's calibration model -- by default the baked catalog probe
+sweep, optionally refitted from a campaign results store::
+
+    PYTHONPATH=src python scripts/plan.py --target 120000 --unit ops/s \\
+        --p99 40 --monthly
+
+    PYTHONPATH=src python scripts/plan.py --target 5000 --unit tpmC --p99 25
+
+    PYTHONPATH=src python scripts/plan.py --store campaign_results.jsonl \\
+        --target 80000 --p99 30
+
+Maintenance modes::
+
+    --recalibrate      re-run the seeded probe sweep and print the fitted
+                       model as Python source (paste into
+                       src/repro/planner/calibration.py when retuning the
+                       baked DEFAULT_CALIBRATION)
+    --smoke            CI mode: plan a fixed sizing question against the
+                       baked model and fail unless a feasible option exists
+                       and the plan round-trips through JSON byte-identically
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.campaign import ResultsStore  # noqa: E402
+from repro.planner import (  # noqa: E402
+    DEFAULT_CALIBRATION,
+    CalibrationModel,
+    fit_calibration,
+    plan_capacity,
+    probe_records,
+)
+from repro.sla import OPS_PER_SECOND, TPMC  # noqa: E402
+
+#: CLI spellings of the rate units (argparse choices want exact strings).
+UNIT_ALIASES = {"ops/s": OPS_PER_SECOND, "tpmC": TPMC, "tpmc": TPMC}
+
+
+def load_model(args: argparse.Namespace) -> CalibrationModel:
+    if args.store is not None:
+        store = ResultsStore(args.store)
+        records = store.load()
+        if not records:
+            raise SystemExit(f"results store {args.store} is empty")
+        return fit_calibration(records, name=f"store:{args.store.name}")
+    return DEFAULT_CALIBRATION
+
+
+def recalibrate() -> int:
+    """Re-run the probe sweep and print the fitted model as Python source."""
+    model = fit_calibration(probe_records(), name="catalog-probe-v1")
+    print("# Paste over DEFAULT_CALIBRATION in src/repro/planner/calibration.py")
+    print("DEFAULT_CALIBRATION = CalibrationModel(")
+    print(f"    name={model.name!r},")
+    print(f"    base_flavor={model.base_flavor!r},")
+    print(f"    base_vcpus={model.base_vcpus},")
+    print("    curve=(")
+    for point in model.curve:
+        print(
+            f"        CalibrationPoint(per_node_rate={point.per_node_rate!r}, "
+            f"p95_ms={point.p95_ms!r}, p99_ms={point.p99_ms!r}),"
+        )
+    print("    ),")
+    print(")")
+    print(f"# fingerprint: {model.fingerprint()}", file=sys.stderr)
+    return 0
+
+
+def smoke() -> int:
+    """CI signal: the baked model sizes a canonical question deterministically."""
+    plan = plan_capacity(
+        DEFAULT_CALIBRATION, target_rate=12_000.0, p99_ceiling_ms=4.0
+    )
+    best = plan.best()
+    if best is None:
+        print("FAIL: no feasible option for 12000 ops/s under a 4ms p99")
+        return 1
+    replay = plan_capacity(
+        DEFAULT_CALIBRATION, target_rate=12_000.0, p99_ceiling_ms=4.0
+    )
+    if plan.to_json() != replay.to_json():
+        print("FAIL: identical inputs produced different plans")
+        return 1
+    print(plan.render(monthly=True, limit=5))
+    print(
+        f"smoke ok: best={best.flavor}:{best.tier}@{best.region} "
+        f"x{best.nodes} (model {plan.model_fingerprint[:12]})"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument(
+        "--target", type=float, default=None, help="target rate in --unit units"
+    )
+    parser.add_argument(
+        "--unit",
+        default="ops/s",
+        choices=sorted(UNIT_ALIASES),
+        help="rate unit of --target (default: ops/s)",
+    )
+    parser.add_argument(
+        "--p95", type=float, default=None, metavar="MS", help="p95 ceiling in ms"
+    )
+    parser.add_argument(
+        "--p99", type=float, default=None, metavar="MS", help="p99 ceiling in ms"
+    )
+    parser.add_argument(
+        "--headroom",
+        type=float,
+        default=0.15,
+        help="capacity reserve above target, 0 <= h < 1 (default: 0.15)",
+    )
+    parser.add_argument(
+        "--monthly",
+        action="store_true",
+        help="include the monthly cost column (720h month)",
+    )
+    parser.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="show only the N cheapest options",
+    )
+    parser.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="fit the model from this campaign results store "
+        "instead of the baked catalog calibration",
+    )
+    parser.add_argument(
+        "--recalibrate",
+        action="store_true",
+        help="re-run the probe sweep and print the fitted model as source",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI mode: fixed deterministic sizing check"
+    )
+    args = parser.parse_args(argv)
+
+    if args.recalibrate:
+        return recalibrate()
+    if args.smoke:
+        return smoke()
+    if args.target is None:
+        parser.error("--target is required (unless --recalibrate or --smoke)")
+    if args.p95 is None and args.p99 is None:
+        parser.error("need at least one latency ceiling: --p95 and/or --p99")
+
+    model = load_model(args)
+    unit = UNIT_ALIASES[args.unit]
+    plan = plan_capacity(
+        model,
+        target_rate=args.target,
+        unit=unit,
+        p95_ceiling_ms=args.p95,
+        p99_ceiling_ms=args.p99,
+        headroom=args.headroom,
+    )
+    ceilings = ", ".join(
+        f"p{p} <= {v:g}ms" for p, v in (("95", args.p95), ("99", args.p99)) if v
+    )
+    print(
+        f"plan: {args.target:g} {unit} ({ceilings}, "
+        f"{args.headroom:.0%} headroom) via model {model.name} "
+        f"[{plan.model_fingerprint[:12]}]"
+    )
+    print(plan.render(monthly=args.monthly, limit=args.limit))
+    best = plan.best()
+    if best is None:
+        print("no feasible option within the node ceiling")
+        return 1
+    print(
+        f"cheapest fit: {best.nodes}x {best.flavor} ({best.tier}, {best.region}) "
+        f"at {best.utilization:.0%} utilization -- "
+        f"{best.hourly_cost:.4f}/h, {best.monthly_cost:.2f}/month"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -36,8 +36,8 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.scenarios import CANNED_SCENARIOS, scenario_trace, trace_to_json  # noqa: E402
 from repro.scenarios.trace import (  # noqa: E402
-    GOLDEN_CONTROLLERS,
     TRACE_FORMAT,
+    golden_combos,
     golden_name,
 )
 
@@ -45,15 +45,18 @@ GOLDEN_DIR = REPO_ROOT / "tests" / "golden"
 
 
 def expected_payloads() -> dict[Path, str]:
-    """Canonical serialisation of every (scenario, controller) golden."""
+    """Canonical serialisation of every (scenario, controller) golden.
+
+    The combo list is the catalog x GOLDEN_CONTROLLERS matrix plus the
+    planner-goldened subset (see ``trace.golden_combos``).
+    """
     # Goldens run the scenario runner's default kernel (the event kernel
     # since the catalog-wide soak proved it byte-identical to "fast").
     return {
-        GOLDEN_DIR / golden_name(name, controller): trace_to_json(
-            scenario_trace(spec, controller)
+        GOLDEN_DIR / golden_name(scenario, controller): trace_to_json(
+            scenario_trace(CANNED_SCENARIOS[scenario], controller)
         )
-        for name, spec in sorted(CANNED_SCENARIOS.items())
-        for controller in GOLDEN_CONTROLLERS
+        for scenario, controller in golden_combos()
     }
 
 

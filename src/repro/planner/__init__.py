@@ -1,0 +1,51 @@
+"""Capacity planning: calibration, sizing/costing, and a planning controller.
+
+The scorecard answers "which controller reacted better"; this package
+answers the forward question a deployment actually starts from -- *how many
+nodes for N ops/s (or tpmC) at a p99 SLO, and what does a month cost?* --
+and then closes the loop by turning the same model into a controller.
+
+Three layers:
+
+* :mod:`repro.planner.calibration` -- :class:`CalibrationModel`, fitted
+  from campaign :class:`~repro.campaign.store.ResultsStore` records or
+  fresh seeded probe runs: per-node saturation throughput plus a monotone
+  load->p95/p99 curve.  Byte-deterministic given the same inputs.
+* :mod:`repro.planner.plan` -- :func:`plan_capacity` /
+  :class:`CapacityPlan`: minimal node counts under tail ceilings, priced
+  per flavor x pricing tier x region through the
+  :class:`~repro.sla.cost.PricingModel` multipliers (``scripts/plan.py``
+  is the CLI).
+* :mod:`repro.planner.controller` -- :class:`PlannerController`, the third
+  controller in the catalog matchup: model-predictive scaling under a
+  declared hourly cost budget, with event-kernel ``next_wakeup`` support.
+"""
+
+from repro.planner.calibration import (
+    DEFAULT_CALIBRATION,
+    CalibrationModel,
+    CalibrationPoint,
+    fit_calibration,
+    probe_records,
+)
+from repro.planner.controller import PlannerController, PlannerPolicy
+from repro.planner.plan import (
+    MINUTES_PER_MONTH,
+    CapacityPlan,
+    PlanOption,
+    plan_capacity,
+)
+
+__all__ = [
+    "DEFAULT_CALIBRATION",
+    "MINUTES_PER_MONTH",
+    "CalibrationModel",
+    "CalibrationPoint",
+    "CapacityPlan",
+    "PlanOption",
+    "PlannerController",
+    "PlannerPolicy",
+    "fit_calibration",
+    "plan_capacity",
+    "probe_records",
+]

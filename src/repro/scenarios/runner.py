@@ -34,7 +34,7 @@ from repro.simulation.cluster import ClusterSimulator
 from repro.simulation.hardware import HardwareSpec
 
 #: Controllers a scenario can run under.
-CONTROLLERS = ("none", "met", "tiramola")
+CONTROLLERS = ("none", "met", "tiramola", "planner")
 
 #: Kernel scenario runs default to.  The event kernel soaked across the
 #: whole catalog byte-identical to ``"fast"`` (tests/test_kernel_soak.py)
@@ -179,6 +179,16 @@ def _make_controller(
         # the run's single RNG so the whole run replays from one seed.
         daemon = HBaseBalancerDaemon(backend, seed=simulator.rng)
         return Tiramola(backend, policy), [daemon]
+    if name == "planner":
+        # Imported lazily: repro.planner reaches back into the scenario
+        # catalog for calibration, so a module-level import would be
+        # circular.  The planner sizes capacity but leaves placement to the
+        # stock balancer daemon, like Tiramola.
+        from repro.planner.controller import PlannerController, planner_policy_for_spec
+
+        controller = PlannerController(backend, policy=planner_policy_for_spec(spec))
+        daemon = HBaseBalancerDaemon(backend, seed=simulator.rng)
+        return controller, [daemon]
     raise ValueError(f"unknown controller {name!r}; expected one of {CONTROLLERS}")
 
 

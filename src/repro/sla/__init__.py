@@ -9,8 +9,9 @@ artefacts:
   violation series and aggregate violation-minutes;
 * :mod:`repro.sla.cost` -- :class:`PricingModel` over IaaS flavors, turning
   the per-flavor machine-minute ledger into a :class:`CostEnvelope`;
-* :mod:`repro.sla.scorecard` -- the MeT-vs-Tiramola scorecard
-  (violation-minutes, cost, throughput) across the scenario catalog.
+* :mod:`repro.sla.scorecard` -- the controller scorecard
+  (violation-minutes, cost, throughput) across the scenario catalog, for
+  any set of controllers (MeT, Tiramola, planner, ...).
 
 Scenario specs declare SLOs (``ScenarioSpec.slos``) and SLO/cost assertions
 (``LatencyWithin``, ``SLOViolationsBelow``, ``CostCeiling``); the scenario
@@ -20,6 +21,7 @@ service quality is regression-locked alongside raw throughput.
 
 from repro.sla.cost import (
     DEFAULT_PRICING,
+    ON_DEMAND_TIER,
     PRICING_MODELS,
     CostEnvelope,
     FlavorCharge,
@@ -35,10 +37,17 @@ from repro.sla.slo import (
     evaluate_slos,
     tenant_points,
 )
-from repro.sla.units import OPS_PER_SECOND, TPMC, RATE_UNITS, to_native_rate
+from repro.sla.units import (
+    OPS_PER_SECOND,
+    TPMC,
+    RATE_UNITS,
+    from_native_rate,
+    to_native_rate,
+)
 
 __all__ = [
     "DEFAULT_PRICING",
+    "ON_DEMAND_TIER",
     "OPS_PER_SECOND",
     "PRICING_MODELS",
     "RATE_UNITS",
@@ -51,6 +60,7 @@ __all__ = [
     "SLOViolation",
     "evaluate_slo",
     "evaluate_slos",
+    "from_native_rate",
     "machine_minute_ledger",
     "pricing_model",
     "tenant_points",

@@ -22,6 +22,7 @@ from repro.iaas.flavors import REGIONSERVER_FLAVOR
 
 __all__ = [
     "DEFAULT_PRICING",
+    "ON_DEMAND_TIER",
     "PRICING_MODELS",
     "CostEnvelope",
     "FlavorCharge",
@@ -29,6 +30,9 @@ __all__ = [
     "machine_minute_ledger",
     "pricing_model",
 ]
+
+#: The baseline pricing tier every model carries at multiplier 1.0.
+ON_DEMAND_TIER = "on-demand"
 
 
 @dataclass(frozen=True)
@@ -38,31 +42,84 @@ class PricingModel:
     ``rates`` is a tuple of ``(flavor_name, rate)`` pairs so pricing models
     stay hashable frozen data (scenario assertions embed them).  Flavors
     missing from the table bill at ``default_rate``.
+
+    ``tiers`` and ``regions`` are multiplier tables applied on top of the
+    flavor rate: a spot tier discounts it, an expensive region inflates it.
+    Omitting ``tier``/``region`` (every pre-existing call site) bills the
+    on-demand tier in the home region at multiplier 1.0, so the default
+    path is unchanged.
     """
 
     name: str
     rates: tuple[tuple[str, float], ...]
     default_rate: float = 0.001
+    tiers: tuple[tuple[str, float], ...] = ((ON_DEMAND_TIER, 1.0),)
+    regions: tuple[tuple[str, float], ...] = (("default", 1.0),)
 
-    def rate_for(self, flavor: str) -> float:
-        """Rate (per machine-minute) of one flavor."""
+    def tier_multiplier(self, tier: str | None = None) -> float:
+        """Multiplier of one pricing tier (``None`` = on-demand, 1.0)."""
+        if tier is None:
+            return 1.0
+        for name, multiplier in self.tiers:
+            if name == tier:
+                return multiplier
+        raise KeyError(
+            f"unknown pricing tier {tier!r} in model {self.name!r};"
+            f" available: {[name for name, _ in self.tiers]}"
+        )
+
+    def region_multiplier(self, region: str | None = None) -> float:
+        """Multiplier of one region (``None`` = home region, 1.0)."""
+        if region is None:
+            return 1.0
+        for name, multiplier in self.regions:
+            if name == region:
+                return multiplier
+        raise KeyError(
+            f"unknown region {region!r} in model {self.name!r};"
+            f" available: {[name for name, _ in self.regions]}"
+        )
+
+    def rate_for(
+        self,
+        flavor: str,
+        tier: str | None = None,
+        region: str | None = None,
+    ) -> float:
+        """Rate (per machine-minute) of one flavor under a tier/region."""
+        base = self.default_rate
         for name, rate in self.rates:
             if name == flavor:
-                return rate
-        return self.default_rate
+                base = rate
+                break
+        return base * self.tier_multiplier(tier) * self.region_multiplier(region)
 
-    def cost_of(self, ledger: dict[str, float]) -> "CostEnvelope":
+    def billing_label(self, tier: str | None = None, region: str | None = None) -> str:
+        """Envelope label: bare model name on the default path."""
+        label = self.name
+        if tier is not None:
+            label = f"{label}:{tier}"
+        if region is not None:
+            label = f"{label}@{region}"
+        return label
+
+    def cost_of(
+        self,
+        ledger: dict[str, float],
+        tier: str | None = None,
+        region: str | None = None,
+    ) -> "CostEnvelope":
         """Cost a per-flavor machine-minute ledger into an envelope."""
         charges = tuple(
             FlavorCharge(
                 flavor=flavor,
                 machine_minutes=minutes,
-                cost=minutes * self.rate_for(flavor),
+                cost=minutes * self.rate_for(flavor, tier=tier, region=region),
             )
             for flavor, minutes in sorted(ledger.items())
             if minutes > 0.0
         )
-        return CostEnvelope(pricing=self.name, charges=charges)
+        return CostEnvelope(pricing=self.billing_label(tier, region), charges=charges)
 
 
 @dataclass(frozen=True)
@@ -104,6 +161,20 @@ DEFAULT_PRICING = PricingModel(
         (REGIONSERVER_FLAVOR.name, 0.05 / 60.0),
     ),
     default_rate=0.06 / 60.0,
+    # Tier discounts follow typical cloud ratios: spot ~65% off with
+    # preemption risk (the simulator doesn't model preemption yet, so spot
+    # plans are "if nothing is reclaimed" floors), reserved ~38% off for a
+    # committed term.
+    tiers=(
+        (ON_DEMAND_TIER, 1.0),
+        ("spot", 0.35),
+        ("reserved", 0.62),
+    ),
+    regions=(
+        ("default", 1.0),
+        ("us-east", 0.95),
+        ("eu-west", 1.12),
+    ),
 )
 
 #: Named pricing models assertions can reference without embedding tables.

@@ -1,11 +1,13 @@
-"""The MeT-vs-Tiramola scorecard: quality and cost across the catalog.
+"""The controller scorecard: quality and cost across the catalog.
 
-Runs scenarios under both controllers and reduces each run to the three
-numbers the latency-vs-cost trade-off is argued with: SLO violation-minutes,
-run cost under a pricing model, and mean cluster throughput.  The rendering
-helpers live in :mod:`repro.experiments.reporting`; this module owns the
-data reduction so experiments, examples and future adversarial-scenario
-search all score controllers the same way.
+Runs scenarios under any set of controllers (the paper's MeT-vs-Tiramola
+matchup by default; ``"planner"`` joins the same table) and reduces each
+run to the numbers the latency-vs-cost trade-off is argued with: SLO
+violation-minutes, run cost under a pricing model, tail latency and mean
+cluster throughput.  The rendering helpers live in
+:mod:`repro.experiments.reporting` and group N controllers side by side;
+this module owns the data reduction so experiments, examples and the
+campaign pipeline all score controllers the same way.
 """
 
 from __future__ import annotations
@@ -96,11 +98,13 @@ def scenario_scorecard(
 
 
 def render_scorecard(rows: list[ScorecardRow]) -> str:
-    """Render scorecard rows as the MeT-vs-Tiramola matchup table.
+    """Render scorecard rows as a controller matchup table.
 
     Scenarios appear in row order; each metric shows every controller's
-    value side by side, and the summary line totals the matchup.  Lower is
-    better for violation-minutes and cost, higher for throughput.
+    value side by side (any number of controllers, in first-seen order --
+    two-controller output is byte-identical to the historical
+    MeT-vs-Tiramola table).  Lower is better for violation-minutes and
+    cost, higher for throughput.
     """
     return format_matchup(
         rows,

@@ -16,7 +16,15 @@ from __future__ import annotations
 
 from typing import Callable
 
-__all__ = ["OPS_PER_SECOND", "TPMC", "RATE_UNITS", "known_units", "to_native_rate"]
+__all__ = [
+    "OPS_PER_SECOND",
+    "TPMC",
+    "RATE_UNITS",
+    "RATE_UNIT_INVERSES",
+    "from_native_rate",
+    "known_units",
+    "to_native_rate",
+]
 
 #: The simulator's own unit (identity conversion).
 OPS_PER_SECOND = "ops/s"
@@ -30,10 +38,24 @@ def _tpmc(ops_per_second: float) -> float:
     return tpmc_from_ops_rate(ops_per_second)
 
 
+def _ops_from_tpmc(tpmc: float) -> float:
+    from repro.workloads.tpcc.driver import ops_rate_from_tpmc
+
+    return ops_rate_from_tpmc(tpmc)
+
+
 #: Unit name -> converter from simulator ops/s into the native unit.
 RATE_UNITS: dict[str, Callable[[float], float]] = {
     OPS_PER_SECOND: lambda ops_per_second: ops_per_second,
     TPMC: _tpmc,
+}
+
+#: Unit name -> converter from the native unit back into simulator ops/s.
+#: The capacity planner accepts sizing targets in any registered unit and
+#: works internally in ops/s, so every unit registers its exact inverse.
+RATE_UNIT_INVERSES: dict[str, Callable[[float], float]] = {
+    OPS_PER_SECOND: lambda native: native,
+    TPMC: _ops_from_tpmc,
 }
 
 
@@ -51,3 +73,14 @@ def to_native_rate(unit: str, ops_per_second: float) -> float:
             f"unknown throughput unit {unit!r}; known units: {known_units()}"
         ) from None
     return converter(ops_per_second)
+
+
+def from_native_rate(unit: str, native: float) -> float:
+    """Convert a rate stated in ``unit`` back into simulator ops/s."""
+    try:
+        converter = RATE_UNIT_INVERSES[unit]
+    except KeyError:
+        raise ValueError(
+            f"unknown throughput unit {unit!r}; known units: {known_units()}"
+        ) from None
+    return converter(native)

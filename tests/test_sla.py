@@ -288,6 +288,48 @@ class TestPricing:
             pricing_model("free-tier")
 
 
+class TestPricingTiers:
+    def test_default_path_is_on_demand_home_region(self):
+        # Pre-tier call sites pass no tier/region: identical rate and label.
+        rate = DEFAULT_PRICING.rate_for("m1.small")
+        assert rate == DEFAULT_PRICING.rate_for("m1.small", tier=None, region=None)
+        envelope = DEFAULT_PRICING.cost_of({"m1.small": 10.0})
+        assert envelope.pricing == DEFAULT_PRICING.name
+
+    def test_tier_and_region_multipliers_compose(self):
+        base = DEFAULT_PRICING.rate_for("m1.large")
+        spot = DEFAULT_PRICING.rate_for("m1.large", tier="spot")
+        assert spot == pytest.approx(base * 0.35)
+        both = DEFAULT_PRICING.rate_for("m1.large", tier="reserved", region="eu-west")
+        assert both == pytest.approx(base * 0.62 * 1.12)
+
+    def test_cost_of_splits_ledger_under_a_tier(self):
+        ledger = {"m1.small": 10.0, "m1.large": 5.0}
+        on_demand = DEFAULT_PRICING.cost_of(ledger)
+        spot = DEFAULT_PRICING.cost_of(ledger, tier="spot")
+        # Every per-flavor charge scales by the same multiplier, so the
+        # flavor split is preserved.
+        assert spot.total == pytest.approx(on_demand.total * 0.35)
+        for od_charge, spot_charge in zip(on_demand.charges, spot.charges):
+            assert spot_charge.flavor == od_charge.flavor
+            assert spot_charge.machine_minutes == od_charge.machine_minutes
+            assert spot_charge.cost == pytest.approx(od_charge.cost * 0.35)
+        assert spot.pricing == f"{DEFAULT_PRICING.name}:spot"
+
+    def test_billing_label_encodes_tier_and_region(self):
+        assert DEFAULT_PRICING.billing_label() == DEFAULT_PRICING.name
+        assert (
+            DEFAULT_PRICING.billing_label(tier="spot", region="us-east")
+            == f"{DEFAULT_PRICING.name}:spot@us-east"
+        )
+
+    def test_unknown_tier_and_region_are_rejected(self):
+        with pytest.raises(KeyError, match="unknown pricing tier"):
+            DEFAULT_PRICING.rate_for("m1.small", tier="preemptible")
+        with pytest.raises(KeyError, match="unknown region"):
+            DEFAULT_PRICING.rate_for("m1.small", region="mars-central1")
+
+
 class TestSLAAssertions:
     def test_latency_within_passes_and_fails(self):
         run = make_run(points=[(1.0, 900.0, 10.0), (2.0, 900.0, 30.0)])
