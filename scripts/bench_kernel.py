@@ -113,7 +113,7 @@ def main(argv: list[str] | None = None) -> int:
             "python": platform.python_version(),
             "scales": {result.scale: result.as_dict() for result in results},
         }
-        output.write_text(json.dumps(report, indent=2) + "\n")
+        output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
         print(f"\nwrote {output}")
     return 0
 

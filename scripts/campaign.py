@@ -26,7 +26,6 @@ from __future__ import annotations
 import argparse
 import sys
 import tempfile
-import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -45,6 +44,7 @@ from repro.campaign import (  # noqa: E402
 )
 from repro.scenarios import CANNED_SCENARIOS  # noqa: E402
 from repro.scenarios.runner import DEFAULT_KERNEL  # noqa: E402
+from repro.util.wallclock import wall_perf_counter  # noqa: E402
 
 SMOKE_SCENARIOS = ("diurnal", "flash_crowd")
 # Smoke exercises every controller the scorecard compares, not just the
@@ -100,20 +100,20 @@ def run_bench(grid: CampaignGrid, args: argparse.Namespace) -> int:
         # below then doubles as a regression test that wall-clock profiling
         # never leaks into the deterministic store.
         serial_store = ResultsStore(Path(tmp) / "serial.jsonl")
-        start = time.perf_counter()
+        start = wall_perf_counter()
         run_campaign(
             grid, serial_store, workers=1, kernel=args.kernel,
             profile_path=Path(tmp) / "serial.profile.jsonl",
         )
-        serial_seconds = time.perf_counter() - start
+        serial_seconds = wall_perf_counter() - start
 
         pool_store = ResultsStore(Path(tmp) / "pool.jsonl")
-        start = time.perf_counter()
+        start = wall_perf_counter()
         run_campaign(
             grid, pool_store, workers=args.workers, kernel=args.kernel,
             profile_path=Path(tmp) / "pool.profile.jsonl",
         )
-        pool_seconds = time.perf_counter() - start
+        pool_seconds = wall_perf_counter() - start
 
         if serial_store.path.read_bytes() != pool_store.path.read_bytes():
             print("FAIL: serial and pooled stores differ byte for byte")

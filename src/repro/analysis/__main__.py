@@ -1,0 +1,102 @@
+"""Command-line entry point: ``python -m repro.analysis`` / ``scripts/lint.py``.
+
+Exit status 0 means every finding is either absent or grandfathered in
+the baseline file; 1 means new findings (printed one per line as
+``path:line:RULE: message``).  ``--update-baseline`` rewrites the
+baseline from the current findings -- use it only while burning the
+baseline *down*, never to park a new violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.engine import DEFAULT_TARGETS, discover_files, lint_paths
+from repro.analysis.findings import load_baseline, write_baseline
+
+
+def main(argv: list[str] | None = None, root: Path | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Determinism lint: AST rules D1-D6 over the repo's Python sources.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help=f"files or directories to lint (default: {', '.join(DEFAULT_TARGETS)})",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=root,
+        help="repository root (default: the current directory)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="CI mode: exit 1 on any non-baseline finding (same behaviour as "
+        "the default run; the flag exists so intent is explicit in ci.yml)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline file of grandfathered findings (default: <root>/lint-baseline.txt)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    args = parser.parse_args(argv)
+
+    repo_root = (args.root or Path.cwd()).resolve()
+    baseline_path = args.baseline or repo_root / "lint-baseline.txt"
+
+    if args.paths:
+        files: list[Path] = []
+        for raw in args.paths:
+            path = raw if raw.is_absolute() else repo_root / raw
+            if path.is_dir():
+                files.extend(discover_files(repo_root, (path.relative_to(repo_root).as_posix(),)))
+            else:
+                files.append(path)
+    else:
+        files = discover_files(repo_root, DEFAULT_TARGETS)
+
+    findings = lint_paths(files, repo_root)
+
+    if args.update_baseline:
+        write_baseline(baseline_path, findings)
+        print(f"baseline: {len(findings)} finding(s) -> {baseline_path}")
+        return 0
+
+    baseline = load_baseline(baseline_path)
+    fresh = [finding for finding in findings if finding.key not in baseline]
+    stale = baseline - {finding.key for finding in findings}
+
+    for finding in fresh:
+        print(finding.render())
+    if stale:
+        print(
+            f"note: {len(stale)} stale baseline entr{'y' if len(stale) == 1 else 'ies'} "
+            f"(fixed or moved) -- prune with --update-baseline",
+            file=sys.stderr,
+        )
+    if fresh:
+        print(
+            f"\n{len(fresh)} determinism finding(s) in {len(files)} file(s); "
+            "fix, pragma with `# repro: allow(RULE, reason=...)`, or (last resort) "
+            "baseline with --update-baseline",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"determinism lint: {len(files)} files clean ({len(baseline)} baselined)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

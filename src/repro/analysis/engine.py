@@ -1,0 +1,91 @@
+"""File discovery, scope classification and the lint driver."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+from repro.analysis.pragmas import parse_pragmas
+from repro.analysis.rules import RULE_IDS, RULES, ModuleContext, collect_imports
+
+# Directories scanned when no explicit paths are given (relative to the
+# repo root; missing ones are skipped silently).
+DEFAULT_TARGETS: tuple[str, ...] = ("src", "scripts", "tests", "examples", "benchmarks")
+
+# Path *parts* excluded everywhere: the fixture corpus intentionally
+# violates every rule, and cache/VCS directories are never source.
+EXCLUDED_PARTS: frozenset[str] = frozenset({"lint_corpus", "__pycache__", ".git"})
+
+SIMULATOR_FILES: frozenset[str] = frozenset({"src/repro/simulation/cluster.py"})
+TEST_ROOTS: tuple[str, ...] = ("tests", "benchmarks")
+
+
+def classify_scopes(rel_path: str, pragma_scopes: set[str]) -> frozenset[str]:
+    """Path-based scope classification, overridable by scope pragmas."""
+
+    if pragma_scopes:
+        return frozenset(pragma_scopes)
+    scopes: set[str] = set()
+    top = rel_path.split("/", 1)[0]
+    if top in TEST_ROOTS:
+        scopes.add("tests")
+    else:
+        scopes.add("library")
+    if rel_path in SIMULATOR_FILES:
+        scopes.add("simulator")
+    return frozenset(scopes)
+
+
+def discover_files(root: Path, targets: tuple[str, ...] = DEFAULT_TARGETS) -> list[Path]:
+    files: list[Path] = []
+    for target in targets:
+        base = root / target
+        if not base.exists():
+            continue
+        if base.is_file():
+            files.append(base)
+            continue
+        for path in sorted(base.rglob("*.py")):
+            if EXCLUDED_PARTS.intersection(path.relative_to(root).parts):
+                continue
+            files.append(path)
+    return files
+
+
+def lint_file(path: Path, root: Path) -> list[Finding]:
+    """Lint one file: parse, classify, run applicable rules, apply pragmas."""
+
+    rel_path = path.relative_to(root).as_posix()
+    try:
+        source = path.read_text()
+    except (OSError, UnicodeDecodeError) as exc:
+        return [Finding(rel_path, 1, "E0", f"unreadable file: {exc}")]
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [Finding(rel_path, exc.lineno or 1, "E0", f"syntax error: {exc.msg}")]
+
+    pragmas = parse_pragmas(source, tree, rel_path, RULE_IDS)
+    scopes = classify_scopes(rel_path, pragmas.scopes)
+    ctx = ModuleContext(rel_path=rel_path, tree=tree, scopes=scopes, imports=collect_imports(tree))
+
+    findings: set[Finding] = set(pragmas.problems)
+    for spec in RULES:
+        if not spec.applies(scopes):
+            continue
+        for finding in spec.check(ctx):
+            if not pragmas.suppresses(finding.rule, finding.line):
+                findings.add(finding)
+    return sorted(findings)
+
+
+def lint_paths(paths: list[Path], root: Path) -> list[Finding]:
+    findings: list[Finding] = []
+    for path in paths:
+        findings.extend(lint_file(path, root))
+    return sorted(set(findings))
+
+
+def lint_repo(root: Path, targets: tuple[str, ...] = DEFAULT_TARGETS) -> list[Finding]:
+    return lint_paths(discover_files(root, targets), root)

@@ -1,0 +1,160 @@
+"""``# repro:`` pragma parsing.
+
+Two directives, both comments so they cost nothing at runtime:
+
+``# repro: allow(RULE, reason=...)``
+    Suppresses one rule.  On a code line it covers that line; on its own
+    line it covers the next statement; on a ``def``/``class`` line it
+    covers the whole body.  The reason is mandatory -- a suppression
+    without a recorded justification is itself a finding (rule P1).
+
+``# repro: scope(library|tests|simulator)``
+    Overrides the path-based scope classification for the file (used by
+    the fixture corpus under ``tests/lint_corpus/`` to exercise
+    scope-gated rules from test-tree paths).
+
+Anything else after ``# repro:`` is a typo and reported as P1 rather
+than silently ignored -- a mis-spelled pragma must not read as a
+successful suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import Finding
+
+PRAGMA_RE = re.compile(r"#\s*repro:\s*(?P<body>.*)$")
+ALLOW_RE = re.compile(r"^allow\(\s*(?P<rule>[A-Za-z0-9_]+)\s*,\s*reason\s*=\s*(?P<reason>.*)\)\s*$")
+ALLOW_HEAD_RE = re.compile(r"^allow\b")
+SCOPE_RE = re.compile(r"^scope\(\s*(?P<scope>[A-Za-z_]+)\s*\)\s*$")
+
+KNOWN_SCOPES = frozenset({"library", "tests", "simulator"})
+
+_TRIVIA_TOKENS = frozenset(
+    {
+        tokenize.COMMENT,
+        tokenize.NL,
+        tokenize.NEWLINE,
+        tokenize.INDENT,
+        tokenize.DEDENT,
+        tokenize.ENCODING,
+        tokenize.ENDMARKER,
+    }
+)
+
+
+@dataclass(frozen=True)
+class AllowPragma:
+    rule: str
+    reason: str
+    start_line: int
+    end_line: int
+
+
+@dataclass
+class PragmaIndex:
+    """All pragmas of one module, plus any malformed ones as P1 findings."""
+
+    allows: list[AllowPragma] = field(default_factory=list)
+    scopes: set[str] = field(default_factory=set)
+    problems: list[Finding] = field(default_factory=list)
+
+    def suppresses(self, rule: str, line: int) -> bool:
+        return any(
+            pragma.rule == rule and pragma.start_line <= line <= pragma.end_line
+            for pragma in self.allows
+        )
+
+
+def _definition_spans(tree: ast.AST) -> dict[int, int]:
+    """Map ``def``/``class`` statement lines to their body end lines."""
+
+    spans: dict[int, int] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            spans[node.lineno] = node.end_lineno or node.lineno
+    return spans
+
+
+def parse_pragmas(
+    source: str,
+    tree: ast.AST,
+    rel_path: str,
+    known_rules: frozenset[str],
+) -> PragmaIndex:
+    index = PragmaIndex()
+    comments: list[tuple[int, str, bool]] = []  # (line, text, own_line)
+    code_lines: set[int] = set()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError):  # pragma: no cover - ast parsed already
+        return index
+    for token in tokens:
+        if token.type == tokenize.COMMENT:
+            prefix = token.line[: token.start[1]]
+            comments.append((token.start[0], token.string, not prefix.strip()))
+        elif token.type not in _TRIVIA_TOKENS:
+            code_lines.add(token.start[0])
+
+    spans = _definition_spans(tree)
+    for line, text, own_line in comments:
+        match = PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        body = match.group("body").strip()
+        if own_line:
+            later = [code_line for code_line in code_lines if code_line > line]
+            anchor = min(later) if later else line
+        else:
+            anchor = line
+
+        scope_match = SCOPE_RE.match(body)
+        if scope_match is not None:
+            scope = scope_match.group("scope")
+            if scope in KNOWN_SCOPES:
+                index.scopes.add(scope)
+            else:
+                index.problems.append(
+                    Finding(rel_path, line, "P1", f"unknown scope {scope!r} in repro pragma")
+                )
+            continue
+
+        allow_match = ALLOW_RE.match(body)
+        if allow_match is not None:
+            rule = allow_match.group("rule")
+            reason = allow_match.group("reason").strip()
+            if rule not in known_rules:
+                index.problems.append(
+                    Finding(rel_path, line, "P1", f"allow() names unknown rule {rule!r}")
+                )
+                continue
+            if not reason:
+                index.problems.append(
+                    Finding(rel_path, line, "P1", f"allow({rule}) has an empty reason")
+                )
+                continue
+            index.allows.append(
+                AllowPragma(rule=rule, reason=reason, start_line=anchor, end_line=spans.get(anchor, anchor))
+            )
+            continue
+
+        if ALLOW_HEAD_RE.match(body):
+            index.problems.append(
+                Finding(
+                    rel_path,
+                    line,
+                    "P1",
+                    "malformed allow pragma: expected `# repro: allow(RULE, reason=...)` "
+                    "with a non-empty reason",
+                )
+            )
+        else:
+            index.problems.append(
+                Finding(rel_path, line, "P1", f"unrecognised repro pragma {body!r}")
+            )
+    return index

@@ -1,0 +1,128 @@
+"""Runtime determinism sanitizer: make violations raise, not drift.
+
+``guard()`` patches the ``time`` and ``random`` modules so that, inside
+the scope, a wall-clock read or a global-RNG draw raises
+``DeterminismViolation`` with the offending name and the remediation.
+The golden-trace and campaign suites run under it by default (see
+``tests/conftest.py``), so a regression that the static pass cannot see
+-- e.g. wall-clock reads hidden behind ``getattr`` or a third-party
+helper -- fails loudly in the exact test that guards byte-identity.
+
+What stays usable inside a guard, by design:
+
+* seeded ``random.Random(seed)`` instances (``repro.util.rng.make_rng``)
+  -- only the module-level convenience functions backed by the hidden
+  global instance are patched;
+* ``repro.util.wallclock`` -- the audited measurement door binds the real
+  functions at import time, before any guard exists;
+* ``time.monotonic`` / ``time.sleep`` -- stdlib machinery
+  (``concurrent.futures``, ``multiprocessing``) reads them via attribute
+  lookup at runtime; patching them would break the process pools the
+  campaign suite exercises, and neither feeds any byte-checked output.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["DeterminismViolation", "guard", "guard_active"]
+
+
+class DeterminismViolation(RuntimeError):
+    """A guarded scope observed wall-clock time or the global RNG."""
+
+
+# Wall-clock readers whose results could leak into byte-checked output.
+# time.monotonic/_ns and time.sleep are deliberately absent (see module
+# docstring).
+_TIME_ATTRS = (
+    "time",
+    "time_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "process_time",
+    "process_time_ns",
+)
+
+# The random module's global-instance convenience API.  getstate/setstate
+# and the Random class itself stay untouched so seeded instances keep
+# working.
+_RANDOM_ATTRS = (
+    "random",
+    "uniform",
+    "triangular",
+    "randint",
+    "randrange",
+    "choice",
+    "choices",
+    "sample",
+    "shuffle",
+    "normalvariate",
+    "lognormvariate",
+    "expovariate",
+    "vonmisesvariate",
+    "gammavariate",
+    "gauss",
+    "betavariate",
+    "paretovariate",
+    "weibullvariate",
+    "getrandbits",
+    "randbytes",
+    "seed",
+)
+
+
+def _raiser(module_name: str, attr: str):
+    remedy = (
+        "use a seeded repro.util.rng.make_rng(...) instance"
+        if module_name == "random"
+        else "route measurement through repro.util.wallclock"
+    )
+
+    def _blocked(*_args, **_kwargs):
+        raise DeterminismViolation(
+            f"{module_name}.{attr}() called inside a determinism-guarded scope "
+            f"(golden/campaign suites run guarded); {remedy} or run this code "
+            "outside the guard"
+        )
+
+    return _blocked
+
+
+_depth = 0
+_saved: dict[tuple[str, str], object] = {}
+
+
+def guard_active() -> bool:
+    return _depth > 0
+
+
+@contextmanager
+def guard() -> Iterator[None]:
+    """Raise on wall-clock reads and global-RNG draws inside the scope.
+
+    Re-entrant: nested guards patch once and restore when the outermost
+    scope exits.
+    """
+
+    global _depth
+    if _depth == 0:
+        for attr in _TIME_ATTRS:
+            _saved[("time", attr)] = getattr(time, attr)
+            setattr(time, attr, _raiser("time", attr))
+        for attr in _RANDOM_ATTRS:
+            _saved[("random", attr)] = getattr(random, attr)
+            setattr(random, attr, _raiser("random", attr))
+    _depth += 1
+    try:
+        yield
+    finally:
+        _depth -= 1
+        if _depth == 0:
+            for (module_name, attr), original in _saved.items():
+                module = time if module_name == "time" else random
+                setattr(module, attr, original)
+            _saved.clear()

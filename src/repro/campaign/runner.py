@@ -19,7 +19,6 @@ Two properties the tests pin down:
 from __future__ import annotations
 
 import json
-import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -30,6 +29,7 @@ from repro.campaign.store import ResultsStore
 from repro.scenarios.runner import DEFAULT_KERNEL, run_scenario
 from repro.scenarios.spec import ScenarioSpec
 from repro.sla.scorecard import scorecard_row
+from repro.util.wallclock import wall_perf_counter
 
 __all__ = ["CampaignError", "CampaignReport", "run_campaign"]
 
@@ -94,9 +94,9 @@ def _cell_record_timed(
     belongs in the profile sidecar, and the store record must stay a pure
     function of grid + master seed.
     """
-    started = time.perf_counter()
+    started = wall_perf_counter()
     record = _cell_record(cell, spec, kernel)
-    return record, time.perf_counter() - started
+    return record, wall_perf_counter() - started
 
 
 def run_campaign(
@@ -144,7 +144,10 @@ def run_campaign(
         if profile is not None:
             with profile.open("a") as handle:
                 handle.write(
-                    json.dumps({"cell": cell.cell_id, "seconds": round(seconds, 6)})
+                    json.dumps(
+                        {"cell": cell.cell_id, "seconds": round(seconds, 6)},
+                        sort_keys=True,
+                    )
                     + "\n"
                 )
         if progress is not None:

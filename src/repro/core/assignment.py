@@ -60,7 +60,10 @@ def assign_partitions(
     pending = sorted(partitions, key=lambda p: (-p.requests, p.partition_id))
     open_bins = set(nodes)
     for partition in pending:
-        candidates = [bins[node] for node in open_bins]
+        # sorted(): min() below already breaks ties on b.node, but iterating
+        # the set raw would still leave the result hostage to hash order if
+        # the key ever loses its total-order tiebreaker.  (lint rule D3)
+        candidates = [bins[node] for node in sorted(open_bins)]
         if not candidates:
             candidates = list(bins.values())
         target = min(candidates, key=lambda b: (b.load, len(b.partitions), b.node))

@@ -236,7 +236,10 @@ class MixShift:
         progress = min(1.0, max(0.0, progress))
         target = dict(self.to_mix)
         blended: dict[str, float] = {}
-        for op in set(from_mix) | set(target):
+        # sorted(): the union's raw iteration order is PYTHONHASHSEED-
+        # dependent and would decide blended-dict insertion order, which
+        # flows into update_workload(op_mix=...).  (lint rule D3)
+        for op in sorted(set(from_mix) | set(target)):
             share = (1.0 - progress) * from_mix.get(op, 0.0) + progress * target.get(op, 0.0)
             if share > 1e-12:
                 blended[op] = share

@@ -166,6 +166,7 @@ def build_synthetic_cluster(
     return sim
 
 
+# repro: allow(D2, reason=bench harness measures wall-clock throughput; results feed BENCH_*.json reports only)
 def measure_ticks_per_second(
     sim: ClusterSimulator, ticks: int, warmup_ticks: int = 3
 ) -> float:
@@ -179,6 +180,7 @@ def measure_ticks_per_second(
     return ticks / elapsed if elapsed > 0 else float("inf")
 
 
+# repro: allow(D2, reason=bench harness measures wall-clock throughput; results feed BENCH_*.json reports only)
 def measure_effective_ticks_per_second(
     sim: ClusterSimulator, ticks: int, warmup_ticks: int = 10
 ) -> tuple[float, float]:

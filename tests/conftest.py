@@ -2,9 +2,25 @@
 
 import pytest
 
+from repro.analysis import sanitizer
 from repro.hbase.cluster import MiniHBaseCluster
 from repro.simulation.cluster import ClusterSimulator
 from repro.workloads.ycsb.scenario import build_paper_scenario
+
+
+@pytest.fixture
+def determinism_guard():
+    """Run the test under the runtime determinism sanitizer.
+
+    Inside the scope, wall-clock reads (``time.time``/``perf_counter``/...)
+    and global-RNG draws (``random.random``/``shuffle``/...) raise
+    :class:`repro.analysis.sanitizer.DeterminismViolation`.  Seeded
+    ``random.Random`` instances and ``repro.util.wallclock`` keep working.
+    The golden and campaign suites opt in module-wide via an autouse
+    fixture; any determinism-sensitive test can request this directly.
+    """
+    with sanitizer.guard():
+        yield
 
 
 @pytest.fixture

@@ -1,0 +1,20 @@
+"""Corpus: seeded RNG plumbing must pass rule D1 clean (false-positive guard)."""
+
+import random
+
+import numpy as np
+
+from repro.util.rng import make_rng
+
+
+def draw(seed: int) -> float:
+    rng = random.Random(seed)  # seeded instance, not the global RNG
+    return rng.random()
+
+
+def generator(seed: int):
+    return np.random.default_rng(seed)  # seeded factory
+
+
+def plumbed(seed: int) -> float:
+    return make_rng(seed).random()

@@ -1,0 +1,26 @@
+"""Corpus: rule D1 flags global/unseeded randomness however it is spelt.
+
+Never imported; the linter only parses it.  `# expect: RULE` markers are
+read by tests/test_lint.py as the exact expected findings.
+"""
+
+import random
+
+import numpy as np
+from random import shuffle
+
+
+def draw() -> float:
+    return random.random()  # expect: D1
+
+
+def pick(items: list) -> None:
+    shuffle(items)  # expect: D1
+
+
+def noise():
+    return np.random.rand(3)  # expect: D1
+
+
+def unseeded_generator():
+    return np.random.default_rng()  # expect: D1

@@ -1,0 +1,22 @@
+# repro: scope(library)
+"""Corpus: pragma'd bench code and the wallclock door pass rule D2 clean."""
+
+import time
+
+from repro.util.wallclock import wall_perf_counter
+
+
+# repro: allow(D2, reason=corpus bench helper; timing feeds a printed report only)
+def bench_loop(n: int) -> float:
+    start = time.perf_counter()
+    for _ in range(n):
+        pass
+    return time.perf_counter() - start
+
+
+def measured() -> float:
+    return wall_perf_counter()
+
+
+def sampled() -> float:
+    return time.process_time()  # repro: allow(D2, reason=same-line pragma demo)

@@ -1,0 +1,19 @@
+# repro: scope(library)
+"""Corpus: rule D2 flags wall-clock reads in library-scoped code."""
+
+import time
+from datetime import datetime
+
+from time import perf_counter  # expect: D2
+
+
+def stamp() -> float:
+    return time.time()  # expect: D2
+
+
+def when() -> str:
+    return datetime.now().isoformat()  # expect: D2
+
+
+def measure() -> float:
+    return perf_counter()  # expect: D2

@@ -1,0 +1,20 @@
+# repro: scope(library)
+"""Corpus: sorted sets, dict views and order-free folds pass rule D3 clean."""
+
+
+def serialise(names: list) -> str:
+    return ",".join(sorted(set(names)))
+
+
+def rows(mapping: dict) -> list:
+    # dict views iterate in insertion order: deterministic when the dict
+    # was built deterministically, so not D3's business.
+    return [mapping[key] for key in mapping]
+
+
+def total(values: list) -> int:
+    return sum(set(values))
+
+
+def contains(items: list, needle: str) -> bool:
+    return needle in set(items)

@@ -1,0 +1,21 @@
+# repro: scope(library)
+"""Corpus: rule D3 flags unsorted set iteration feeding ordered output."""
+
+
+def serialise(names: list) -> str:
+    parts = set(names)
+    return ",".join(parts)  # expect: D3
+
+
+def rows(a: dict, b: dict) -> list:
+    merged = set(a) | set(b)
+    return [item for item in merged]  # expect: D3
+
+
+def walk(flags: set) -> None:
+    for flag in {"a", "b"} | flags:  # expect: D3
+        print(flag)
+
+
+def listed(items: list) -> list:
+    return list(set(items))  # expect: D3

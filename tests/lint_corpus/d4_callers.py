@@ -1,0 +1,9 @@
+"""Corpus: rule D4's caller-side audit -- stale writes to solver state."""
+
+
+def stale_config(simulator) -> None:
+    simulator.nodes["n1"].config = {"heap_mb": 4096}  # expect: D4
+
+
+def stale_binding(binding) -> None:
+    binding.op_mix = {"read": 1.0}  # expect: D4

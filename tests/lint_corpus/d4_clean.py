@@ -1,0 +1,18 @@
+"""Corpus: discharged or hooked writes pass rule D4's caller audit clean."""
+
+
+def blessed_write(simulator) -> None:
+    simulator.nodes["n1"].config = {"heap_mb": 4096}
+    simulator.invalidate_solution()
+
+
+def hooked_write(region) -> None:
+    # SimulatedRegion.__setattr__ intercepts .node and .block_homes: the
+    # hook reindexes and bumps the structure version itself.
+    region.node = "n2"
+    region.block_homes = {"n2"}
+
+
+def unrelated_state(vm) -> None:
+    # Not solver state: the receiver carries no solver-state hint.
+    vm.state = "ACTIVE"

@@ -1,0 +1,12 @@
+# repro: scope(library)
+"""Corpus: canonical (sort_keys=True) JSON passes rule D5 clean."""
+
+import json
+
+
+def canonical(record: dict) -> str:
+    return json.dumps(record, sort_keys=True)
+
+
+def canonical_dump(record: dict, handle) -> None:
+    json.dump(record, handle, sort_keys=True, indent=2)

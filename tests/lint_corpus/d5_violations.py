@@ -1,0 +1,13 @@
+# repro: scope(library)
+"""Corpus: rule D5 flags non-canonical JSON in library-scoped code."""
+
+import json
+
+
+def dump_record(record: dict, handle) -> None:
+    handle.write(json.dumps(record))  # expect: D5
+    json.dump(record, handle)  # expect: D5
+
+
+def pretty(record: dict) -> str:
+    return json.dumps(record, indent=2)  # expect: D5

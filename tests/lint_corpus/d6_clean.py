@@ -1,0 +1,20 @@
+"""Corpus: quantise-then-accumulate passes rule D6 clean."""
+
+SCALE = 1 << 16
+
+
+class Histogram:
+    __mergeable_integer_channels__ = ("counts",)
+
+    def __init__(self) -> None:
+        self.counts: dict[int, int] = {}
+
+    def record(self, index: int, weight: float) -> None:
+        count = int(round(weight * SCALE))  # quantised before it reaches the channel
+        if count:
+            self.counts[index] = self.counts.get(index, 0) + count
+
+    def merge(self, other: "Histogram") -> None:
+        counts = self.counts
+        for index, count in other.counts.items():
+            counts[index] = counts.get(index, 0) + count

@@ -1,0 +1,18 @@
+"""Corpus: rule D6 flags floats flowing into mergeable integer channels."""
+
+
+class Histogram:
+    __mergeable_integer_channels__ = ("counts",)
+
+    def __init__(self) -> None:
+        self.counts: dict[int, int] = {}
+
+    def record(self, index: int, weight: float) -> None:
+        self.counts[index] = self.counts.get(index, 0) + weight  # expect: D6
+
+    def halve(self, index: int) -> None:
+        self.counts[index] = self.counts.get(index, 0) / 2  # expect: D6
+
+    def bump(self, index: int) -> None:
+        counts = self.counts
+        counts[index] = counts.get(index, 0) + 0.5  # expect: D6

@@ -1,0 +1,6 @@
+"""Corpus: malformed pragmas are findings (P1), never silent suppressions."""
+
+MISSING_REASON = 1  # repro: allow(D2)  # expect: P1
+UNKNOWN_RULE = 2  # repro: allow(D9, reason=no such rule)  # expect: P1
+TYPO = 3  # repro: allwo(D2, reason=misspelt directive)  # expect: P1
+BAD_SCOPE = 4  # repro: scope(kernel)  # expect: P1

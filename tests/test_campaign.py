@@ -33,6 +33,17 @@ from repro.scenarios import CANNED_SCENARIOS, ScenarioSpec, TenantSpec
 from repro.scenarios.catalog import SMALL_A, SMALL_C
 
 
+@pytest.fixture(autouse=True)
+def _guarded(determinism_guard):
+    """The whole campaign suite runs under the runtime determinism
+    sanitizer: store bytes must be a pure function of grid + master seed,
+    so any wall-clock or global-RNG dependence in the path raises instead
+    of flaking.  (Pool workers fork with the guard installed; the profile
+    sidecar times itself through repro.util.wallclock, which stays open.)
+    """
+    yield
+
+
 def tiny_spec(name: str = "tiny", **overrides) -> ScenarioSpec:
     defaults = dict(
         name=name,

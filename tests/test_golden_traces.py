@@ -20,7 +20,6 @@ Also enforced here:
 import copy
 import json
 import os
-import time
 from functools import lru_cache
 from pathlib import Path
 
@@ -41,6 +40,7 @@ from repro.scenarios.trace import (
     golden_combos,
     golden_name,
 )
+from repro.util.wallclock import wall_perf_counter
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 
@@ -102,10 +102,22 @@ SUITE_BUDGET_SECONDS = float(os.environ.get("GOLDEN_SUITE_BUDGET_SECONDS", "6.0"
 _suite_clock: dict[str, float] = {}
 
 
+@pytest.fixture(autouse=True)
+def _guarded(determinism_guard):
+    """Every golden test runs under the runtime determinism sanitizer.
+
+    These tests *are* the byte-reproducibility claim, so wall-clock reads
+    and global-RNG draws anywhere under them raise DeterminismViolation
+    (the budget bookkeeping below measures through repro.util.wallclock,
+    the audited door the guard leaves open).
+    """
+    yield
+
+
 @pytest.fixture(scope="module", autouse=True)
 def _suite_timer():
     """Start the module's wall-clock on its first test."""
-    _suite_clock.setdefault("start", time.perf_counter())
+    _suite_clock.setdefault("start", wall_perf_counter())
     yield
 
 
@@ -408,7 +420,7 @@ class TestGoldenSuiteBudget:
 
     def test_suite_stays_inside_wall_clock_budget(self):
         """Catalog growth must not silently erode the tier-1 time budget."""
-        elapsed = time.perf_counter() - _suite_clock["start"]
+        elapsed = wall_perf_counter() - _suite_clock["start"]
         assert elapsed <= SUITE_BUDGET_SECONDS, (
             f"golden suite took {elapsed:.1f}s, budget {SUITE_BUDGET_SECONDS:.1f}s "
             "(see ROADMAP; trim the catalog/kernel matrix or raise the budget "
